@@ -1,0 +1,23 @@
+"""Shared state for the benchmark harness.
+
+Benchmarks regenerate every figure and table of the paper.  Expensive
+artifacts (paper mesh, 200-pair KLE, placements) are session-scoped and
+shared across modules; knobs come from the environment (see
+``repro.experiments.common``): ``REPRO_SAMPLES`` (default 2000),
+``REPRO_FULL=1`` for the 16k–22k-gate circuits.
+"""
+
+import pytest
+
+from repro.experiments.common import get_context
+
+
+@pytest.fixture(scope="session")
+def context():
+    return get_context()
+
+
+@pytest.fixture(scope="session")
+def paper_kle(context):
+    """The paper's KLE (Gaussian kernel, 28°/0.1 % mesh, 200 eigenpairs)."""
+    return context.kle

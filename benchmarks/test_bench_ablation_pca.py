@@ -1,0 +1,106 @@
+"""Ablation: KLE vs grid-based PCA at equal random-variable budget.
+
+The paper's §2 argument quantified: with the same number r of retained RVs,
+the grid-PCA model (paper eq. (1)) suffers cell-granularity error that the
+continuous KLE model (eq. (3)) avoids — measured as the accuracy of the
+implied gate-to-gate correlation model on randomly placed gates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.galerkin import solve_kle
+from repro.core.kernels import GaussianKernel
+from repro.field.grid_model import GridPCA, grid_model_from_kernel
+from repro.field.sampling import KLESampleGenerator
+from repro.mesh.refine import refine_to_triangle_count
+
+DIE = (-1.0, -1.0, 1.0, 1.0)
+KERNEL = GaussianKernel(2.72394)
+R_BUDGET = 25
+
+
+@pytest.fixture(scope="module")
+def gate_points():
+    rng = np.random.default_rng(99)
+    return rng.uniform(-0.98, 0.98, (120, 2))
+
+
+@pytest.fixture(scope="module")
+def kle_model():
+    mesh = refine_to_triangle_count(*DIE, 800)
+    return solve_kle(KERNEL, mesh, num_eigenpairs=100)
+
+
+def _kle_model_covariance(kle, points, r):
+    tri = kle.locator.locate_many(points)
+    cov = kle.covariance_on_triangles(r=r)
+    return cov[np.ix_(tri, tri)]
+
+
+def _pca_model_covariance(pca, grid, points, r):
+    cells = grid.cell_of_points(points)
+    basis = pca.reconstruction_matrix(r)
+    cov = basis @ basis.T
+    return cov[np.ix_(cells, cells)]
+
+
+def test_kle_covariance_accuracy(benchmark, kle_model, gate_points):
+    model_cov = benchmark(
+        _kle_model_covariance, kle_model, gate_points, R_BUDGET
+    )
+    exact = KERNEL.matrix(gate_points)
+    error = float(np.max(np.abs(model_cov - exact)))
+    benchmark.extra_info["max cov error"] = round(error, 4)
+    # Piecewise-constant basis: error is O(h) (Theorem 2).
+    assert error < 1.2 * kle_model.mesh.max_side()
+
+
+@pytest.mark.parametrize("cells", [4, 6, 10])
+def test_pca_covariance_accuracy(benchmark, gate_points, cells):
+    grid = grid_model_from_kernel(KERNEL, DIE, cells, cells)
+    pca = GridPCA(grid)
+    r = min(R_BUDGET, grid.num_cells)
+    model_cov = benchmark(
+        _pca_model_covariance, pca, grid, gate_points, r
+    )
+    exact = KERNEL.matrix(gate_points)
+    error = float(np.max(np.abs(model_cov - exact)))
+    benchmark.extra_info["grid"] = f"{cells}x{cells}"
+    benchmark.extra_info["max cov error"] = round(error, 4)
+
+
+def test_kle_beats_equal_budget_pca(kle_model, gate_points):
+    """At r = 25 the 5x5 grid (the largest grid PCA can fully span with 25
+    RVs) is substantially less accurate than the KLE model."""
+    exact = KERNEL.matrix(gate_points)
+    kle_err = float(
+        np.max(np.abs(_kle_model_covariance(kle_model, gate_points, R_BUDGET)
+                      - exact))
+    )
+    grid = grid_model_from_kernel(KERNEL, DIE, 5, 5)  # 25 cells = 25 RVs
+    pca = GridPCA(grid)
+    pca_err = float(
+        np.max(np.abs(_pca_model_covariance(pca, grid, gate_points, 25)
+                      - exact))
+    )
+    assert kle_err < pca_err
+
+
+def test_kle_sampling_not_slower_than_pca(kle_model, gate_points):
+    """Cost sanity at equal budget: the KLE sampler stays within a small
+    factor of the (cheaper-basis) grid sampler."""
+    import time
+
+    grid = grid_model_from_kernel(KERNEL, DIE, 5, 5)
+    pca = GridPCA(grid)
+    start = time.perf_counter()
+    pca.sample_at_points(gate_points, 2000, 25, seed=0)
+    pca_time = time.perf_counter() - start
+
+    generator = KLESampleGenerator({"L": kle_model}, r=25)
+    generator.prepare(gate_points)
+    start = time.perf_counter()
+    generator.generate(gate_points, 2000, seed=0)
+    kle_time = time.perf_counter() - start
+    assert kle_time < 50.0 * max(pca_time, 1e-4)

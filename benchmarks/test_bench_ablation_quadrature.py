@@ -1,0 +1,70 @@
+"""Ablation: quadrature order in the Galerkin assembly (paper §4.2).
+
+The paper uses the 1-point centroid rule and notes higher-order rules are
+admissible.  This bench quantifies the trade-off: entry-level integration
+accuracy versus assembly cost for the centroid, 3-point and 7-point rules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.galerkin import assemble_galerkin_matrix, solve_kle
+from repro.core.kernels import GaussianKernel
+from repro.mesh.locate import TriangleLocator
+from repro.mesh.structured import structured_rectangle_mesh
+
+DIE = (-1.0, -1.0, 1.0, 1.0)
+KERNEL = GaussianKernel(2.72394)
+
+
+@pytest.fixture(scope="module")
+def coarse_mesh():
+    return structured_rectangle_mesh(*DIE, 8, 8)
+
+
+@pytest.fixture(scope="module")
+def reference_matrix(coarse_mesh):
+    """High-accuracy reference for the coarse-mesh Galerkin matrix: degree-5
+    quadrature on a 4x-refined mesh, block-summed back to coarse entries."""
+    fine = structured_rectangle_mesh(*DIE, 32, 32)
+    fine_matrix = assemble_galerkin_matrix(KERNEL, fine, rule="seven_point")
+    owner = TriangleLocator(coarse_mesh).locate_many(fine.centroids)
+    n = coarse_mesh.num_triangles
+    reduced = np.zeros((n, n))
+    for i in range(n):
+        mask_i = owner == i
+        block = fine_matrix[mask_i]
+        for k in range(n):
+            reduced[i, k] = block[:, owner == k].sum()
+    return reduced
+
+
+@pytest.mark.parametrize("rule", ["centroid", "three_point", "seven_point"])
+def test_assembly_cost_and_accuracy(benchmark, rule, coarse_mesh,
+                                    reference_matrix):
+    matrix = benchmark(
+        assemble_galerkin_matrix, KERNEL, coarse_mesh, rule=rule
+    )
+    error = float(np.max(np.abs(matrix - reference_matrix)))
+    benchmark.extra_info["max entry error"] = f"{error:.2e}"
+    assert error < 1e-3  # all rules adequate at this mesh size
+
+
+def test_quadrature_error_ordering(coarse_mesh, reference_matrix):
+    """Higher order -> smaller integration error (the ablation's point)."""
+    errors = {}
+    for rule in ("centroid", "three_point", "seven_point"):
+        matrix = assemble_galerkin_matrix(KERNEL, coarse_mesh, rule=rule)
+        errors[rule] = float(np.max(np.abs(matrix - reference_matrix)))
+    assert errors["seven_point"] < errors["three_point"] < errors["centroid"]
+
+
+def test_eigenvalue_insensitivity_at_paper_resolution():
+    """At paper-scale mesh density the centroid rule's eigenvalues agree
+    with the 3-point rule to well under the MC noise floor — justifying the
+    paper's choice of the cheapest rule."""
+    mesh = structured_rectangle_mesh(*DIE, 24, 24)
+    centroid = solve_kle(KERNEL, mesh, num_eigenpairs=25, rule="centroid")
+    three = solve_kle(KERNEL, mesh, num_eigenpairs=25, rule="three_point")
+    rel = np.abs(centroid.eigenvalues - three.eigenvalues) / three.eigenvalues[0]
+    assert float(rel.max()) < 5e-3

@@ -1,0 +1,53 @@
+"""Extension bench: block-based (Clark) SSTA on the KLE basis.
+
+The paper's closing claim — "we expect these trends to replicate in other
+CAD algorithms" — made concrete: a one-pass canonical-form SSTA consuming
+the same 25 KLE RVs, benchmarked against the Monte-Carlo flows.
+"""
+
+import pytest
+
+from repro.timing.block_ssta import BlockSSTA
+from repro.timing.ssta import MonteCarloSSTA
+
+
+@pytest.fixture(scope="module")
+def placed(context):
+    name = "c1908"
+    return context.circuit(name), context.placement(name)
+
+
+def test_block_ssta_pass(benchmark, placed, context, paper_kle):
+    netlist, placement = placed
+    engine = BlockSSTA(netlist, placement, paper_kle, r=25)
+    result = benchmark(engine.run)
+    assert result.mean_worst_delay() > 0.0
+    benchmark.extra_info["mean ps"] = round(result.mean_worst_delay(), 1)
+    benchmark.extra_info["sigma ps"] = round(result.std_worst_delay(), 2)
+
+
+def test_block_ssta_accuracy_vs_mc(benchmark, placed, context, paper_kle):
+    """Accuracy of the one-pass model against the MC flow it replaces."""
+    netlist, placement = placed
+    harness = MonteCarloSSTA(
+        netlist, placement, context.kernel, paper_kle, r=25
+    )
+    mc = harness.run_kle(4000, seed=0)
+
+    def run_block():
+        return BlockSSTA(netlist, placement, paper_kle, r=25).run()
+
+    block = benchmark.pedantic(run_block, rounds=1, iterations=1)
+    mean_err = abs(
+        block.mean_worst_delay() - mc.sta.mean_worst_delay()
+    ) / mc.sta.mean_worst_delay()
+    sigma_err = abs(
+        block.std_worst_delay() - mc.sta.std_worst_delay()
+    ) / mc.sta.std_worst_delay()
+    assert mean_err < 0.02
+    assert sigma_err < 0.25
+    benchmark.extra_info["mean err vs MC %"] = round(100 * mean_err, 3)
+    benchmark.extra_info["sigma err vs MC %"] = round(100 * sigma_err, 2)
+    benchmark.extra_info["MC(4000) sigma ps"] = round(
+        mc.sta.std_worst_delay(), 2
+    )

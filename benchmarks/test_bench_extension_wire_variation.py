@@ -1,0 +1,47 @@
+"""Extension bench: interconnect variation through both SSTA flows.
+
+The paper varies only gate parameters; its method is parameter-agnostic
+("no restriction imposed by our technique"), so wire R/C variation fields
+— sharing the same spatial kernel — plug into both Algorithm 1 and
+Algorithm 2.  This bench verifies the Table-1-style agreement survives and
+measures the cost of the extra fields.
+"""
+
+import pytest
+
+from repro.timing.ssta import MonteCarloSSTA
+
+
+@pytest.fixture(scope="module")
+def harnesses(context, paper_kle):
+    netlist = context.circuit("c1355")
+    placement = context.placement("c1355")
+    plain = MonteCarloSSTA(
+        netlist, placement, context.kernel, paper_kle, r=25
+    )
+    wired = MonteCarloSSTA(
+        netlist, placement, context.kernel, paper_kle, r=25,
+        wire_sigma={"R": 0.10, "C": 0.08},
+    )
+    return plain, wired
+
+
+def test_wire_variation_row(benchmark, harnesses):
+    _plain, wired = harnesses
+    row = benchmark.pedantic(
+        wired.compare, args=(1500,), kwargs={"seed": 0},
+        rounds=1, iterations=1,
+    )
+    assert row.e_mu_percent < 1.0
+    assert row.e_sigma_percent < 12.0
+    benchmark.extra_info["e_mu %"] = round(row.e_mu_percent, 3)
+    benchmark.extra_info["e_sigma %"] = round(row.e_sigma_percent, 3)
+    benchmark.extra_info["speedup"] = round(row.speedup, 2)
+
+
+def test_wire_variation_widens_sigma(harnesses):
+    plain, wired = harnesses
+    without = plain.run_kle(1500, seed=3)
+    with_wires = wired.run_kle(1500, seed=3)
+    ratio = with_wires.sta.std_worst_delay() / without.sta.std_worst_delay()
+    assert ratio > 1.0

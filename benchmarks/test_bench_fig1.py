@@ -1,0 +1,43 @@
+"""Figure 1: kernel surface (a) and sampled field outcomes (b).
+
+Regenerates both panels and checks their qualitative content: a unit peak
+decaying to ~0 across the die, and outcome maps that are smooth locally but
+decorrelated at long range.
+"""
+
+import numpy as np
+
+from repro.experiments.fig1 import fig1a_kernel_surface, fig1b_field_outcomes
+
+
+def test_fig1a_kernel_surface(benchmark, context):
+    data = benchmark(fig1a_kernel_surface, context.kernel)
+    center = data.values[len(data.ys) // 2, len(data.xs) // 2]
+    corner = data.values[0, 0]
+    assert center == 1.0
+    assert corner < 0.01  # exp(-c * 2) at the die corner, c ~ 2.72
+    # Isotropy: the four mid-edge values agree.
+    mid = len(data.xs) // 2
+    edges = [
+        data.values[0, mid],
+        data.values[-1, mid],
+        data.values[mid, 0],
+        data.values[mid, -1],
+    ]
+    assert np.ptp(edges) < 1e-9
+    benchmark.extra_info["K(0, corner)"] = float(corner)
+
+
+def test_fig1b_field_outcomes(benchmark, context):
+    data = benchmark(
+        fig1b_field_outcomes, context.kernel, resolution=32, num_outcomes=2,
+        seed=2008,
+    )
+    assert data.outcomes.shape == (2, 32, 32)
+    for outcome in data.outcomes:
+        neighbour = np.abs(np.diff(outcome, axis=0)).mean()
+        opposite = np.abs(outcome[0, :] - outcome[-1, :]).mean()
+        assert neighbour < 0.5 * opposite  # local smoothness, global freedom
+    # The two outcomes are distinct draws of the same field.
+    assert np.abs(data.outcomes[0] - data.outcomes[1]).max() > 0.5
+    benchmark.extra_info["field std"] = float(data.outcomes.std())

@@ -1,0 +1,47 @@
+"""Figures 4 and 5: eigenfunctions, eigenvalue decay, and the eigen-solve.
+
+Also times the full eigenpair computation (mesh + Galerkin assembly +
+eigensolve), the step the paper reports as 11.2 s in Matlab.
+"""
+
+import numpy as np
+
+from repro.core.galerkin import solve_kle
+from repro.experiments.fig45 import fig4_eigenfunctions, fig5_eigenvalue_decay
+
+
+def test_eigenpair_computation(benchmark, context):
+    """The paper's '11.2 s using Matlab' step on our stack."""
+    mesh = context.mesh
+    kernel = context.kernel
+    kle = benchmark(solve_kle, kernel, mesh, num_eigenpairs=200)
+    assert kle.num_eigenpairs == 200
+    benchmark.extra_info["n (triangles)"] = mesh.num_triangles
+    benchmark.extra_info["paper runtime"] = "11.2 s (Matlab, 2.8 GHz Opteron)"
+
+
+def test_fig4_eigenfunctions(benchmark, paper_kle):
+    data = benchmark(fig4_eigenfunctions, paper_kle, count=4, resolution=41)
+    # Fourier-like structure: eigenfunction k has more sign structure than
+    # eigenfunction 0 (which has none).
+    first, second = data.maps[0], data.maps[1]
+    assert np.all(first > 0) or np.all(first < 0)
+    assert np.any(second > 0) and np.any(second < 0)
+    # Degenerate pair: λ2 ≈ λ3 (the x/y symmetric modes of the square die).
+    np.testing.assert_allclose(
+        data.eigenvalues[1], data.eigenvalues[2], rtol=0.05
+    )
+
+
+def test_fig5_eigenvalue_decay(benchmark, paper_kle):
+    data = benchmark(fig5_eigenvalue_decay, paper_kle)
+    # Paper: r = 25 on n = 1546; same neighbourhood here.
+    assert 20 <= data.selected_r <= 30
+    assert data.variance_captured >= 0.99
+    # Rapid decay: two orders of magnitude within the first 50 eigenvalues.
+    assert data.eigenvalues[49] < 0.01 * data.eigenvalues[0]
+    benchmark.extra_info["r (paper: 25)"] = data.selected_r
+    benchmark.extra_info["n (paper: 1546)"] = data.num_triangles
+    benchmark.extra_info["variance captured"] = round(
+        data.variance_captured, 4
+    )

@@ -1,0 +1,44 @@
+"""Figure 6: σ_d estimation error vs eigenpairs r (a) and triangles n (b).
+
+Shape target: error decreases (noisily — the reference is itself a random
+MC estimate, as the paper notes) in both sweeps; we assert the robust form
+of the trend: the coarsest configuration is clearly worse than the finest.
+"""
+
+from repro.experiments.fig6 import fig6a_error_vs_r, fig6b_error_vs_n
+
+
+def test_fig6a_error_vs_eigenpairs(benchmark, context):
+    data = benchmark.pedantic(
+        fig6a_error_vs_r,
+        kwargs={"circuit": "c1908", "r_values": (2, 5, 10, 15, 25)},
+        rounds=1,
+        iterations=1,
+    )
+    errors = {p.swept_value: p.sigma_error_percent for p in data.points}
+    # Trend: tiny r is much worse than the paper's r = 25.
+    assert errors[2] > 2.0 * errors[25]
+    assert errors[5] > errors[25]
+    # At r = 25 the error is in the paper's few-percent band.
+    assert errors[25] < 8.0
+    benchmark.extra_info["sigma error % by r"] = {
+        str(k): round(v, 2) for k, v in errors.items()
+    }
+
+
+def test_fig6b_error_vs_triangles(benchmark, context):
+    data = benchmark.pedantic(
+        fig6b_error_vs_n,
+        kwargs={"circuit": "c1908", "n_values": (60, 200, 800, 1546),
+                "r": 25},
+        rounds=1,
+        iterations=1,
+    )
+    points = sorted(data.points, key=lambda p: p.swept_value)
+    errors = [p.sigma_error_percent for p in points]
+    # Trend: the coarsest mesh is clearly worse than the paper-scale mesh.
+    assert errors[0] > errors[-1]
+    assert errors[-1] < 8.0
+    benchmark.extra_info["sigma error % by n"] = {
+        str(p.swept_value): round(p.sigma_error_percent, 2) for p in points
+    }

@@ -1,0 +1,54 @@
+"""Micro-bench: grid vs quadtree point location (Algorithm 2, line 5).
+
+The paper leaves the space-index choice open ("grid, tree, etc."); this
+bench measures both on the paper mesh with a Table 1-scale gate count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mesh.locate import TriangleLocator
+from repro.mesh.quadtree import QuadtreeLocator
+
+
+@pytest.fixture(scope="module")
+def query_points():
+    rng = np.random.default_rng(3)
+    return rng.uniform(-0.999, 0.999, (5000, 2))
+
+
+def test_grid_locator(benchmark, context, query_points):
+    locator = TriangleLocator(context.mesh)
+    result = benchmark(locator.locate_many, query_points)
+    assert result.shape == (5000,)
+
+
+def test_quadtree_locator(benchmark, context, query_points):
+    locator = QuadtreeLocator(context.mesh)
+    result = benchmark(locator.locate_many, query_points)
+    assert result.shape == (5000,)
+
+
+def test_locators_agree_on_paper_mesh(context, query_points):
+    grid = TriangleLocator(context.mesh).locate_many(query_points[:500])
+    tree = QuadtreeLocator(context.mesh).locate_many(query_points[:500])
+    from repro.mesh.geometry import point_in_triangle
+
+    for p, gi, ti in zip(query_points[:500], grid, tree):
+        if gi != ti:  # shared-edge points may legally differ
+            a, b, c = context.mesh.triangle_points(ti)
+            assert point_in_triangle(tuple(p), tuple(a), tuple(b), tuple(c))
+
+
+def test_index_build_costs(benchmark, context):
+    def build_both():
+        return (
+            TriangleLocator(context.mesh),
+            QuadtreeLocator(context.mesh),
+        )
+
+    grid, tree = benchmark(build_both)
+    benchmark.extra_info["mesh n"] = context.mesh.num_triangles
+    benchmark.extra_info["quadtree depth"] = tree.depth()
+    benchmark.extra_info["quadtree leaves"] = tree.leaf_count()
+    del grid

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Advanced variation modeling: every extension in one flow.
+
+Puts the library's beyond-the-paper features to work on a single design:
+
+1. anisotropic process data detected and modeled (directional extraction),
+2. density-adaptive die meshing driven by the actual placement,
+3. Monte-Carlo SSTA with Sobol QMC sampling in the reduced dimension,
+4. cross-correlated parameters (L-W coupling) and wire R/C variation,
+5. tail diagnostics: how non-Gaussian is the worst-delay distribution?
+
+Run:  python examples/advanced_variation.py [num_samples]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.circuit import load_circuit
+from repro.core import (
+    AnisotropicGaussianKernel,
+    detect_anisotropy,
+    solve_kle,
+)
+from repro.field import KLESampleGenerator, RandomField
+from repro.mesh import gate_density_area_limit, refine_rectangle
+from repro.place import place_netlist
+from repro.timing import MonteCarloSSTA, distribution_summary
+
+DIE = (-1.0, -1.0, 1.0, 1.0)
+
+
+def main() -> None:
+    num_samples = int(sys.argv[1]) if len(sys.argv) > 1 else 4096
+    print("1. anisotropic 'process data' -> detection -> kernel")
+    truth = AnisotropicGaussianKernel(c_major=1.8, c_minor=5.5, angle=0.3)
+    rng = np.random.default_rng(99)
+    sites = rng.uniform(-1, 1, (100, 2))
+    measurements = RandomField(truth).sample(sites, 250, seed=1)
+    report = detect_anisotropy(sites, measurements)
+    print(f"   decay-rate ratio = {report.ratio:.2f} "
+          f"(isotropic? {report.is_isotropic}); "
+          f"major axis at {np.degrees(report.angle):.0f} deg "
+          f"(truth: {np.degrees(0.3):.0f} deg)")
+    kernel = truth  # in a real flow: fit an anisotropic family to the data
+
+    print("2. place c1355 and grade the mesh by gate density")
+    netlist = load_circuit("c1355")
+    placement = place_netlist(netlist, DIE, seed=2008)
+    size_field = gate_density_area_limit(
+        placement.gate_locations(), DIE, dense_area=0.004, sparse_area=0.05
+    )
+    mesh = refine_rectangle(*DIE, area_limit_fn=size_field)
+    print(f"   graded mesh: {mesh.num_triangles} triangles "
+          f"(min angle {mesh.min_angle_degrees():.1f} deg)")
+
+    print("3. KLE of the anisotropic kernel on the graded mesh")
+    kle = solve_kle(kernel, mesh, num_eigenpairs=200)
+    r = kle.select_truncation()
+    print(f"   r = {r} (anisotropy breaks the square-die degeneracy: "
+          f"lambda2 = {kle.eigenvalues[1]:.3f}, "
+          f"lambda3 = {kle.eigenvalues[2]:.3f})")
+
+    print("4. MC-SSTA: L-W coupling + wire variation + Sobol sampling")
+    ssta = MonteCarloSSTA(
+        netlist, placement, kernel, kle, r=r,
+        wire_sigma={"R": 0.10, "C": 0.08},
+    )
+    # Swap Algorithm 2's sampler for QMC (a dividend of small r).
+    cross = np.eye(4)
+    cross[0, 1] = cross[1, 0] = -0.5  # L up <-> W down (litho coupling)
+    ssta.kle_generator = KLESampleGenerator(
+        ssta.kles, r=r, cross_correlation=cross, sampler="sobol"
+    )
+    run = ssta.run_kle(num_samples, seed=0)
+    print(f"   worst delay: mean = {run.sta.mean_worst_delay():.0f} ps, "
+          f"sigma = {run.sta.std_worst_delay():.1f} ps "
+          f"({run.total_seconds:.2f} s for {num_samples} samples)")
+
+    print("5. tail diagnostics")
+    summary = distribution_summary(run.sta.worst_delay)
+    print(f"   skewness = {summary.skewness:+.2f}, "
+          f"excess kurtosis = {summary.excess_kurtosis:+.2f}")
+    print(f"   empirical 99.7% = {summary.quantile_q997_ps:.0f} ps; "
+          f"Gaussian model is off by "
+          f"{summary.gaussian_q997_gap_ps:+.0f} ps there")
+
+    # Reference check at reduced N: the exotic model still round-trips
+    # through Algorithm 1 vs Algorithm 2.
+    row = ssta.compare(min(1000, num_samples), seed=5)
+    print(f"6. flows agree: e_mu = {row.e_mu_percent:.2f} %, "
+          f"e_sigma = {row.e_sigma_percent:.2f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Legacy setuptools shim (offline environments without the wheel package)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Correlation-kernel KLE for intra-die spatial correlation, with "
+        "application to statistical timing (DATE 2008 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+)

@@ -1,0 +1,33 @@
+"""repro — correlation-kernel KLE for intra-die spatial correlation.
+
+A complete reproduction of *"Exploiting Correlation Kernels for Efficient
+Handling of Intra-Die Spatial Correlation, with Application to Statistical
+Timing"* (Singhee, Singhal, Rutenbar — DATE 2008), including every
+substrate the paper depends on:
+
+- :mod:`repro.core`   — kernels, kernel fitting, the Galerkin/KLE solver
+  (the paper's contribution), analytic baselines, validation;
+- :mod:`repro.mesh`   — Delaunay + Ruppert-style quality meshing of the die;
+- :mod:`repro.field`  — random-field models, grid/PCA baseline, the
+  Algorithm 1 / Algorithm 2 sample generators;
+- :mod:`repro.circuit`— netlists, .bench I/O, synthetic ISCAS-class
+  benchmark generation;
+- :mod:`repro.place`  — FM mincut + recursive-bisection placement;
+- :mod:`repro.timing` — Elmore/PERI interconnect, rank-one-quadratic gate
+  models, the vectorized MC-SSTA engine;
+- :mod:`repro.experiments` — drivers regenerating every figure and table.
+
+Quickstart::
+
+    from repro.core import paper_experiment_kernel, solve_kle
+    from repro.mesh import paper_mesh
+
+    kernel = paper_experiment_kernel()
+    kle = solve_kle(kernel, paper_mesh(), num_eigenpairs=200)
+    r = kle.select_truncation()           # the paper's 1 % rule -> ~25
+    fields = kle.sample_triangle_values(1000, r=r, seed=0)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,56 @@
+"""Gate-level circuit substrate: netlists, .bench I/O, generation, registry."""
+
+from repro.circuit.netlist import (
+    ALL_GATE_TYPES,
+    COMBINATIONAL_TYPES,
+    SEQUENTIAL_TYPES,
+    Gate,
+    Netlist,
+)
+from repro.circuit.levelize import (
+    CombinationalCycleError,
+    LevelizedCircuit,
+    levelize,
+)
+from repro.circuit.bench_parser import (
+    BenchParseError,
+    parse_bench,
+    read_bench,
+    save_bench,
+    write_bench,
+)
+from repro.circuit.generate import default_depth, generate_circuit
+from repro.circuit.benchmarks import (
+    C17_BENCH,
+    TABLE1_SPECS,
+    BenchmarkSpec,
+    benchmark_names,
+    export_benchmarks,
+    get_spec,
+    load_circuit,
+)
+
+__all__ = [
+    "ALL_GATE_TYPES",
+    "COMBINATIONAL_TYPES",
+    "SEQUENTIAL_TYPES",
+    "Gate",
+    "Netlist",
+    "CombinationalCycleError",
+    "LevelizedCircuit",
+    "levelize",
+    "BenchParseError",
+    "parse_bench",
+    "read_bench",
+    "save_bench",
+    "write_bench",
+    "default_depth",
+    "generate_circuit",
+    "C17_BENCH",
+    "TABLE1_SPECS",
+    "BenchmarkSpec",
+    "benchmark_names",
+    "export_benchmarks",
+    "get_spec",
+    "load_circuit",
+]

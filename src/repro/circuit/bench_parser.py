@@ -1,0 +1,116 @@
+"""Reader/writer for the ISCAS ``.bench`` netlist format.
+
+The format the ISCAS85/89 benchmark suites are distributed in::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G11 = DFF(G10)
+
+Gate keywords accepted (case-insensitive): AND, NAND, OR, NOR, XOR, XNOR,
+NOT, BUFF (alias BUF), DFF.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.circuit.netlist import Gate, Netlist
+
+_ASSIGN_RE = re.compile(
+    r"^\s*([^\s=]+)\s*=\s*([A-Za-z]+)\s*\(([^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)\s*$", re.IGNORECASE)
+
+_TYPE_ALIASES = {
+    "AND": "AND",
+    "NAND": "NAND",
+    "OR": "OR",
+    "NOR": "NOR",
+    "XOR": "XOR",
+    "XNOR": "XNOR",
+    "NOT": "NOT",
+    "INV": "NOT",
+    "BUFF": "BUFF",
+    "BUF": "BUFF",
+    "DFF": "DFF",
+}
+
+
+class BenchParseError(ValueError):
+    """Raised for malformed ``.bench`` text (with a line number)."""
+
+
+def parse_bench(text: str, *, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` source text into a :class:`Netlist`."""
+    primary_inputs: List[str] = []
+    primary_outputs: List[str] = []
+    gates: List[Gate] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            keyword, net = io_match.group(1).upper(), io_match.group(2)
+            if keyword == "INPUT":
+                primary_inputs.append(net)
+            else:
+                primary_outputs.append(net)
+            continue
+        assign_match = _ASSIGN_RE.match(line)
+        if assign_match:
+            output, raw_type, raw_inputs = assign_match.groups()
+            gate_type = _TYPE_ALIASES.get(raw_type.upper())
+            if gate_type is None:
+                raise BenchParseError(
+                    f"line {line_number}: unknown gate type {raw_type!r}"
+                )
+            inputs = tuple(
+                token.strip() for token in raw_inputs.split(",") if token.strip()
+            )
+            if not inputs:
+                raise BenchParseError(
+                    f"line {line_number}: gate {output!r} has no inputs"
+                )
+            try:
+                gates.append(Gate(output, gate_type, inputs, output))
+            except ValueError as exc:
+                raise BenchParseError(f"line {line_number}: {exc}") from exc
+            continue
+        raise BenchParseError(f"line {line_number}: cannot parse {raw_line!r}")
+    try:
+        return Netlist(name, primary_inputs, primary_outputs, gates)
+    except ValueError as exc:
+        raise BenchParseError(str(exc)) from exc
+
+
+def read_bench(path: str) -> Netlist:
+    """Read a ``.bench`` file; the netlist name is the file stem."""
+    import os
+
+    with open(path) as handle:
+        text = handle.read()
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return parse_bench(text, name=stem)
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialize a netlist back to ``.bench`` text (round-trips with
+    :func:`parse_bench`)."""
+    lines = [f"# {netlist.name}"]
+    lines += [f"INPUT({net})" for net in netlist.primary_inputs]
+    lines += [f"OUTPUT({net})" for net in netlist.primary_outputs]
+    lines.append("")
+    for gate in netlist.gates:
+        args = ", ".join(gate.inputs)
+        lines.append(f"{gate.output} = {gate.gate_type}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(netlist: Netlist, path: str) -> None:
+    """Write a netlist to a ``.bench`` file."""
+    with open(path, "w") as handle:
+        handle.write(write_bench(netlist))

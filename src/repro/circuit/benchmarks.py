@@ -1,0 +1,140 @@
+"""Registry of the benchmark circuits used in the paper's Table 1.
+
+Fourteen ISCAS85/89 circuits, gate counts exactly as reported in the paper
+(the ``N_g`` column), plus the real c17 netlist embedded verbatim as a
+parser/flow sanity circuit.  The synthetic stand-ins are generated
+deterministically (seed derived from the circuit name) with primary-I/O and
+flip-flop counts taken from the published suite documentation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.circuit.bench_parser import parse_bench
+from repro.circuit.generate import generate_circuit
+from repro.circuit.netlist import Netlist
+
+# The genuine ISCAS85 c17 netlist (6 NAND gates) — tiny enough to embed.
+C17_BENCH = """\
+# c17 (ISCAS85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Size specification of one Table 1 circuit.
+
+    ``num_gates`` is the paper's ``N_g`` column; ``num_inputs``,
+    ``num_outputs`` and ``num_dffs`` follow the ISCAS suite documentation.
+    """
+
+    name: str
+    num_gates: int
+    num_inputs: int
+    num_outputs: int
+    num_dffs: int = 0
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.num_dffs > 0
+
+
+# Order matches the paper's Table 1 (ascending N_g).
+TABLE1_SPECS: List[BenchmarkSpec] = [
+    BenchmarkSpec("c880", 383, 60, 26),
+    BenchmarkSpec("c1355", 546, 41, 32),
+    BenchmarkSpec("c1908", 880, 33, 25),
+    BenchmarkSpec("c3540", 1669, 50, 22),
+    BenchmarkSpec("c5315", 2307, 178, 123),
+    BenchmarkSpec("c6288", 2416, 32, 32),
+    BenchmarkSpec("s5378", 2779, 35, 49, 179),
+    BenchmarkSpec("c7552", 3512, 207, 108),
+    BenchmarkSpec("s9234", 5597, 36, 39, 211),
+    BenchmarkSpec("s13207", 7951, 62, 152, 638),
+    BenchmarkSpec("s15850", 9772, 77, 150, 534),
+    BenchmarkSpec("s35932", 16065, 35, 320, 1728),
+    BenchmarkSpec("s38584", 19253, 38, 304, 1426),
+    BenchmarkSpec("s38417", 22179, 28, 106, 1636),
+]
+
+_SPEC_INDEX: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in TABLE1_SPECS}
+
+
+def benchmark_names() -> List[str]:
+    """Table 1 circuit names in paper order."""
+    return [spec.name for spec in TABLE1_SPECS]
+
+
+def get_spec(name: str) -> BenchmarkSpec:
+    """The size spec of a Table 1 circuit."""
+    try:
+        return _SPEC_INDEX[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {benchmark_names()} and 'c17'"
+        ) from None
+
+
+def _seed_for(name: str) -> int:
+    """Stable per-circuit seed (independent of Python's hash randomization)."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def export_benchmarks(directory: str, names=None) -> "list[str]":
+    """Write benchmark circuits as ``.bench`` files (for external tools).
+
+    Exports ``names`` (default: c17 plus the whole Table 1 set; the
+    largest circuits take a few seconds each to generate) into
+    ``directory`` and returns the written paths.
+    """
+    import os
+
+    from repro.circuit.bench_parser import save_bench
+
+    if names is None:
+        names = ["c17"] + benchmark_names()
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for name in names:
+        netlist = load_circuit(name)
+        path = os.path.join(directory, f"{name}.bench")
+        save_bench(netlist, path)
+        paths.append(path)
+    return paths
+
+
+def load_circuit(name: str) -> Netlist:
+    """Load a benchmark circuit by name.
+
+    ``"c17"`` parses the embedded genuine netlist; any Table 1 name
+    generates its deterministic synthetic stand-in with the exact published
+    gate count.
+    """
+    if name == "c17":
+        return parse_bench(C17_BENCH, name="c17")
+    spec = get_spec(name)
+    return generate_circuit(
+        spec.name,
+        spec.num_gates,
+        spec.num_inputs,
+        spec.num_outputs,
+        num_dffs=spec.num_dffs,
+        seed=_seed_for(spec.name),
+    )

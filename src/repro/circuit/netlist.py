@@ -1,0 +1,253 @@
+"""Gate-level netlist data structures (the ISCAS85/89 substrate).
+
+A :class:`Netlist` is a named collection of :class:`Gate` instances wired by
+string-named nets, with declared primary inputs and outputs.  Sequential
+circuits (the ISCAS89 s-series) contain DFF gates, which the timing flow
+treats as scan boundaries: a DFF's output is a pseudo primary input and its
+data input a pseudo primary output (see :mod:`repro.circuit.levelize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+# The combinational gate types the timing library characterizes, plus DFF.
+COMBINATIONAL_TYPES = (
+    "AND", "NAND", "OR", "NOR", "XOR", "XNOR", "NOT", "BUFF",
+)
+SEQUENTIAL_TYPES = ("DFF",)
+ALL_GATE_TYPES = COMBINATIONAL_TYPES + SEQUENTIAL_TYPES
+
+# Logic evaluation used for functional simulation of netlists.
+_EVALUATORS = {
+    "AND": lambda ins: all(ins),
+    "NAND": lambda ins: not all(ins),
+    "OR": lambda ins: any(ins),
+    "NOR": lambda ins: not any(ins),
+    "XOR": lambda ins: (sum(ins) % 2) == 1,
+    "XNOR": lambda ins: (sum(ins) % 2) == 0,
+    "NOT": lambda ins: not ins[0],
+    "BUFF": lambda ins: ins[0],
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance.
+
+    Attributes
+    ----------
+    name: instance name; by ISCAS convention equal to the output net name.
+    gate_type: one of :data:`ALL_GATE_TYPES` ("NAND", "DFF", ...).
+    inputs: driving net names, in pin order.
+    output: driven net name.
+    """
+
+    name: str
+    gate_type: str
+    inputs: Tuple[str, ...]
+    output: str
+
+    def __post_init__(self):
+        if self.gate_type not in ALL_GATE_TYPES:
+            raise ValueError(
+                f"unknown gate type {self.gate_type!r}; "
+                f"expected one of {ALL_GATE_TYPES}"
+            )
+        if not self.inputs:
+            raise ValueError(f"gate {self.name!r} has no inputs")
+        if self.gate_type in ("NOT", "BUFF", "DFF") and len(self.inputs) != 1:
+            raise ValueError(
+                f"{self.gate_type} gate {self.name!r} must have exactly one "
+                f"input, got {len(self.inputs)}"
+            )
+        if self.gate_type in ("AND", "NAND", "OR", "NOR", "XOR", "XNOR") and (
+            len(self.inputs) < 2
+        ):
+            raise ValueError(
+                f"{self.gate_type} gate {self.name!r} needs >= 2 inputs"
+            )
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.gate_type in SEQUENTIAL_TYPES
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    def evaluate(self, input_values: Sequence[bool]) -> bool:
+        """Boolean function of the gate (DFF passes its input through)."""
+        if len(input_values) != len(self.inputs):
+            raise ValueError(
+                f"gate {self.name!r} expects {len(self.inputs)} values, "
+                f"got {len(input_values)}"
+            )
+        if self.gate_type == "DFF":
+            return bool(input_values[0])
+        return bool(_EVALUATORS[self.gate_type](list(input_values)))
+
+
+class Netlist:
+    """A gate-level circuit.
+
+    Invariants enforced on construction:
+
+    - every net has at most one driver (a PI declaration or a gate output),
+    - every gate input is driven (by a PI or another gate),
+    - every declared primary output exists,
+    - no combinational cycles (checked lazily by levelization).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        primary_inputs: Iterable[str],
+        primary_outputs: Iterable[str],
+        gates: Iterable[Gate],
+    ):
+        self.name = str(name)
+        self.primary_inputs: List[str] = list(primary_inputs)
+        self.primary_outputs: List[str] = list(primary_outputs)
+        self.gates: List[Gate] = list(gates)
+
+        if len(set(self.primary_inputs)) != len(self.primary_inputs):
+            raise ValueError("duplicate primary input")
+        if len(set(self.primary_outputs)) != len(self.primary_outputs):
+            raise ValueError("duplicate primary output")
+
+        self._driver: Dict[str, Optional[Gate]] = {
+            net: None for net in self.primary_inputs
+        }
+        for gate in self.gates:
+            if gate.output in self._driver:
+                raise ValueError(
+                    f"net {gate.output!r} has multiple drivers "
+                    f"(gate {gate.name!r} conflicts)"
+                )
+            self._driver[gate.output] = gate
+
+        self._sinks: Dict[str, List[Tuple[Gate, int]]] = {
+            net: [] for net in self._driver
+        }
+        for gate in self.gates:
+            for pin, net in enumerate(gate.inputs):
+                if net not in self._driver:
+                    raise ValueError(
+                        f"gate {gate.name!r} input net {net!r} is undriven"
+                    )
+                self._sinks[net].append((gate, pin))
+        for net in self.primary_outputs:
+            if net not in self._driver:
+                raise ValueError(f"primary output net {net!r} does not exist")
+
+        self._gate_index: Dict[str, Gate] = {g.name: g for g in self.gates}
+        if len(self._gate_index) != len(self.gates):
+            raise ValueError("duplicate gate name")
+
+    # ------------------------------------------------------------------
+    # Topology queries.
+    # ------------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def nets(self) -> List[str]:
+        """All net names (primary inputs plus every gate output)."""
+        return list(self._driver)
+
+    def gate(self, name: str) -> Gate:
+        """Look up a gate by instance name."""
+        try:
+            return self._gate_index[name]
+        except KeyError:
+            raise KeyError(f"no gate named {name!r}") from None
+
+    def driver_of(self, net: str) -> Optional[Gate]:
+        """The gate driving ``net``; ``None`` for primary inputs."""
+        try:
+            return self._driver[net]
+        except KeyError:
+            raise KeyError(f"no net named {net!r}") from None
+
+    def sinks_of(self, net: str) -> List[Tuple[Gate, int]]:
+        """``(gate, pin)`` pairs reading ``net``."""
+        try:
+            return list(self._sinks[net])
+        except KeyError:
+            raise KeyError(f"no net named {net!r}") from None
+
+    def fanout_of(self, net: str) -> int:
+        """Number of gate pins reading ``net`` (+1 if it is a primary output)."""
+        extra = 1 if net in self.primary_outputs else 0
+        return len(self._sinks[net]) + extra
+
+    def sequential_gates(self) -> List[Gate]:
+        """All DFF gates (timing start/end boundaries)."""
+        return [g for g in self.gates if g.is_sequential]
+
+    def combinational_gates(self) -> List[Gate]:
+        """All non-sequential gates (the timed graph)."""
+        return [g for g in self.gates if not g.is_sequential]
+
+    @property
+    def is_sequential(self) -> bool:
+        return any(g.is_sequential for g in self.gates)
+
+    def gate_type_histogram(self) -> Dict[str, int]:
+        """Count of gates per type (cell-mix statistics)."""
+        histogram: Dict[str, int] = {}
+        for gate in self.gates:
+            histogram[gate.gate_type] = histogram.get(gate.gate_type, 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Functional simulation (sanity/regression aid, combinational only).
+    # ------------------------------------------------------------------
+    def simulate(
+        self, input_values: Dict[str, bool], *, dff_values: Optional[Dict[str, bool]] = None
+    ) -> Dict[str, bool]:
+        """Evaluate all nets for one input vector.
+
+        DFF outputs take their value from ``dff_values`` (default False) —
+        i.e. this evaluates one combinational frame of a sequential design.
+        Returns the value of every net.
+        """
+        from repro.circuit.levelize import levelize
+
+        values: Dict[str, bool] = {}
+        for net in self.primary_inputs:
+            if net not in input_values:
+                raise ValueError(f"missing value for primary input {net!r}")
+            values[net] = bool(input_values[net])
+        dff_values = dff_values or {}
+        for gate in self.sequential_gates():
+            values[gate.output] = bool(dff_values.get(gate.output, False))
+        order = levelize(self)
+        for gate in order.gates_in_order:
+            values[gate.output] = gate.evaluate(
+                [values[net] for net in gate.inputs]
+            )
+        return values
+
+    # ------------------------------------------------------------------
+    # Integrity checking.
+    # ------------------------------------------------------------------
+    def dangling_nets(self) -> Set[str]:
+        """Nets that drive nothing (no sink and not a primary output)."""
+        outputs = set(self.primary_outputs)
+        return {
+            net
+            for net, sinks in self._sinks.items()
+            if not sinks and net not in outputs
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, gates={self.num_gates}, "
+            f"inputs={len(self.primary_inputs)}, "
+            f"outputs={len(self.primary_outputs)}, "
+            f"dffs={len(self.sequential_gates())})"
+        )

@@ -1,0 +1,164 @@
+"""Galerkin discretization of the KLE integral equation (paper §3.2, §4).
+
+The homogeneous Fredholm equation of the second kind
+
+    ∫_D K(x, y) f(y) dy = λ f(x)                                   (eq. 4)
+
+is projected onto the space of piecewise-constant functions over a
+triangulation of the die (eq. 17).  With that orthogonal basis the Galerkin
+criterion (eq. 10) reduces to the generalized eigenvalue problem
+
+    K d = λ Φ d,        K_ik = ∬ K(x, y) dx dy,   Φ = diag(a_i)    (eq. 13/18)
+
+and centroid quadrature approximates ``K_ik ≈ K(c_i, c_k) a_i a_k``
+(eq. 21), with error vanishing linearly in the maximum triangle side h
+(Theorem 2).  Higher-order quadrature rules are supported for the accuracy
+ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.kernels import CovarianceKernel
+from repro.core.kle import KLEResult
+from repro.core.quadrature import CENTROID_RULE, TriangleRule, get_rule
+from repro.mesh.mesh import TriangleMesh
+from repro.utils.linalg import symmetric_generalized_eigh
+
+
+def assemble_galerkin_matrix(
+    kernel: CovarianceKernel,
+    mesh: TriangleMesh,
+    *,
+    rule: Union[str, TriangleRule] = CENTROID_RULE,
+    max_block_bytes: int = 256 * 1024 * 1024,
+) -> np.ndarray:
+    """Assemble the symmetric Galerkin matrix ``K`` of eq. (13).
+
+    With the centroid rule this is exactly the paper's eq. (21):
+    ``K_ik = K(c_i, c_k) a_i a_k``.  With a ``q``-point rule each entry is a
+    double quadrature sum; the ``(nt*q) × (nt*q)`` kernel evaluation is
+    blocked so peak memory stays under ``max_block_bytes``.
+
+    Returns the dense ``(nt, nt)`` matrix, exactly symmetric.
+    """
+    if isinstance(rule, str):
+        rule = get_rule(rule)
+    num_triangles = mesh.num_triangles
+    if num_triangles == 0:
+        raise ValueError("cannot assemble a Galerkin matrix on an empty mesh")
+
+    if rule.num_points == 1:
+        centroids = mesh.centroids
+        areas = mesh.areas
+        kernel_matrix = kernel.matrix(centroids)
+        result = kernel_matrix * np.outer(areas, areas)
+        return 0.5 * (result + result.T)
+
+    points, weights = rule.points_on_mesh(mesh)  # (nt*q, 2), (nt*q,)
+    q = rule.num_points
+    total = len(points)
+    # K_ik = sum over quadrature nodes of both triangles; computed as the
+    # triangle-block reduction of diag(w) K(points, points) diag(w).
+    result = np.zeros((num_triangles, num_triangles), dtype=float)
+    rows_per_block = max(q, int(max_block_bytes / (8 * max(total, 1))) // q * q)
+    for start in range(0, total, rows_per_block):
+        stop = min(start + rows_per_block, total)
+        block = kernel.matrix(points[start:stop], points)  # (rows, nt*q)
+        block = block * weights[start:stop, None] * weights[None, :]
+        # Reduce columns to per-triangle sums, then rows.
+        col_reduced = block.reshape(stop - start, num_triangles, q).sum(axis=2)
+        row_tri = np.repeat(
+            np.arange(start // q, (stop + q - 1) // q), q
+        )[: stop - start]
+        np.add.at(result, row_tri, col_reduced)
+    return 0.5 * (result + result.T)
+
+
+class GalerkinKLE:
+    """End-to-end numerical KLE solver (the paper's core contribution).
+
+    Combines the three steps left open in §3.2: the piecewise-constant basis
+    on a triangulation, the quadrature evaluation of the Galerkin integrals,
+    and the (generalized) eigensolve.
+
+    Example
+    -------
+    >>> from repro.core import GaussianKernel, GalerkinKLE
+    >>> from repro.mesh import structured_rectangle_mesh
+    >>> mesh = structured_rectangle_mesh(-1, -1, 1, 1, 12, 12)
+    >>> kle = GalerkinKLE(GaussianKernel(c=1.4), mesh).solve(num_eigenpairs=25)
+    >>> kle.eigenvalues[0] > kle.eigenvalues[1] > 0
+    True
+    """
+
+    def __init__(
+        self,
+        kernel: CovarianceKernel,
+        mesh: TriangleMesh,
+        *,
+        rule: Union[str, TriangleRule] = CENTROID_RULE,
+    ):
+        self.kernel = kernel
+        self.mesh = mesh
+        self.rule = get_rule(rule) if isinstance(rule, str) else rule
+        self._galerkin_matrix: Optional[np.ndarray] = None
+
+    @property
+    def galerkin_matrix(self) -> np.ndarray:
+        """The assembled ``K`` matrix (cached after first use)."""
+        if self._galerkin_matrix is None:
+            self._galerkin_matrix = assemble_galerkin_matrix(
+                self.kernel, self.mesh, rule=self.rule
+            )
+        return self._galerkin_matrix
+
+    def solve(
+        self,
+        num_eigenpairs: Optional[int] = None,
+        *,
+        method: str = "dense",
+    ) -> KLEResult:
+        """Solve ``K d = λ Φ d`` and package the leading eigenpairs.
+
+        Parameters
+        ----------
+        num_eigenpairs:
+            How many leading pairs to keep; ``None`` keeps all ``nt``.  The
+            paper computes the first 200 and then truncates to r = 25 via
+            :meth:`repro.core.kle.KLEResult.select_truncation`.
+        method:
+            ``"dense"`` (LAPACK, default) or ``"arpack"`` (iterative
+            Lanczos, leading pairs only — for meshes with tens of
+            thousands of triangles; equivalent to the Matlab ``eigs`` the
+            paper used).
+        """
+        eigenvalues, d_vectors = symmetric_generalized_eigh(
+            self.galerkin_matrix,
+            self.mesh.areas,
+            num_eigenpairs=num_eigenpairs,
+            method=method,
+        )
+        return KLEResult(
+            eigenvalues=eigenvalues,
+            d_vectors=d_vectors,
+            mesh=self.mesh,
+            kernel=self.kernel,
+        )
+
+
+def solve_kle(
+    kernel: CovarianceKernel,
+    mesh: TriangleMesh,
+    *,
+    num_eigenpairs: Optional[int] = None,
+    rule: Union[str, TriangleRule] = CENTROID_RULE,
+    method: str = "dense",
+) -> KLEResult:
+    """One-call convenience wrapper around :class:`GalerkinKLE`."""
+    return GalerkinKLE(kernel, mesh, rule=rule).solve(
+        num_eigenpairs=num_eigenpairs, method=method
+    )

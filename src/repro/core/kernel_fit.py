@@ -1,0 +1,186 @@
+"""Fitting kernel families to measured correlation-vs-distance data.
+
+The paper's experiments use a Gaussian kernel whose decay rate ``c`` is
+chosen to "best fit an isotropic linear kernel in 2-D with correlation
+distance equal to half the normalized chip length" (§5.1).  Fig. 3(a)
+compares the 1-D best fits of the Gaussian and exponential families to the
+linear kernel of Friedberg et al. [12] and shows the Gaussian fitting
+better.  This module implements both the 1-D curve fits and the 2-D
+(area-weighted) fit used to pick the experiment kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+import scipy.optimize
+
+from repro.core.kernels import (
+    ExponentialKernel,
+    GaussianKernel,
+    IsotropicKernel,
+    LinearConeKernel,
+)
+
+
+@dataclass(frozen=True)
+class KernelFitResult:
+    """Outcome of a 1-parameter kernel fit.
+
+    Attributes
+    ----------
+    kernel:
+        The fitted kernel instance.
+    parameter:
+        The fitted decay-rate parameter ``c``.
+    rmse:
+        Root-mean-square residual against the target profile over the fit
+        distances (with the fit weights applied).
+    max_error:
+        Maximum absolute residual over the fit distances.
+    """
+
+    kernel: IsotropicKernel
+    parameter: float
+    rmse: float
+    max_error: float
+
+
+def _fit_profile(
+    family: Callable[[float], IsotropicKernel],
+    distances: np.ndarray,
+    target: np.ndarray,
+    weights: np.ndarray,
+    initial: float,
+) -> KernelFitResult:
+    """Weighted least-squares fit of a 1-parameter isotropic family."""
+    distances = np.asarray(distances, dtype=float)
+    target = np.asarray(target, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if distances.shape != target.shape or distances.shape != weights.shape:
+        raise ValueError("distances, target and weights must have equal shapes")
+    if distances.size == 0:
+        raise ValueError("cannot fit a kernel to an empty data set")
+    sqrt_w = np.sqrt(weights)
+
+    def residuals(log_c: np.ndarray) -> np.ndarray:
+        kernel = family(float(np.exp(log_c[0])))
+        return sqrt_w * (kernel.profile(distances) - target)
+
+    # Optimize log(c) so the decay rate stays positive without constraints.
+    solution = scipy.optimize.least_squares(residuals, x0=[np.log(initial)])
+    c_fit = float(np.exp(solution.x[0]))
+    kernel = family(c_fit)
+    err = kernel.profile(distances) - target
+    rmse = float(np.sqrt(np.sum(weights * err * err) / np.sum(weights)))
+    return KernelFitResult(
+        kernel=kernel,
+        parameter=c_fit,
+        rmse=rmse,
+        max_error=float(np.max(np.abs(err))),
+    )
+
+
+def fit_gaussian_to_profile(
+    distances: Sequence[float],
+    target: Sequence[float],
+    *,
+    weights: Sequence[float] | None = None,
+    initial_c: float = 1.0,
+) -> KernelFitResult:
+    """Least-squares fit of ``exp(-c v²)`` to a correlation profile."""
+    distances = np.asarray(distances, dtype=float)
+    if weights is None:
+        weights = np.ones_like(distances)
+    return _fit_profile(GaussianKernel, distances, np.asarray(target, float),
+                        np.asarray(weights, float), initial_c)
+
+
+def fit_exponential_to_profile(
+    distances: Sequence[float],
+    target: Sequence[float],
+    *,
+    weights: Sequence[float] | None = None,
+    initial_c: float = 1.0,
+) -> KernelFitResult:
+    """Least-squares fit of ``exp(-c v)`` to a correlation profile."""
+    distances = np.asarray(distances, dtype=float)
+    if weights is None:
+        weights = np.ones_like(distances)
+    return _fit_profile(ExponentialKernel, distances, np.asarray(target, float),
+                        np.asarray(weights, float), initial_c)
+
+
+def fit_to_linear_kernel_1d(
+    rho: float,
+    *,
+    num_points: int = 200,
+    max_distance: float | None = None,
+) -> dict:
+    """Reproduce Fig. 3(a): best 1-D fits of Gaussian/exponential to the cone.
+
+    Fits both families to ``K(v) = max(0, 1 - v/rho)`` sampled uniformly on
+    ``[0, max_distance]`` (default: the full support ``[0, rho]``).
+
+    Returns a dict with keys ``"gaussian"`` and ``"exponential"`` mapping to
+    :class:`KernelFitResult`, plus ``"distances"`` and ``"target"`` so a
+    caller can plot the figure.  The paper's headline observation — the
+    Gaussian fits the measured (linear) decay better than the exponential —
+    shows up as ``gaussian.rmse < exponential.rmse``.
+    """
+    if max_distance is None:
+        max_distance = rho
+    cone = LinearConeKernel(rho)
+    distances = np.linspace(0.0, max_distance, num_points)
+    target = cone.profile(distances)
+    gaussian = fit_gaussian_to_profile(distances, target, initial_c=1.0 / rho**2)
+    exponential = fit_exponential_to_profile(distances, target, initial_c=1.0 / rho)
+    return {
+        "gaussian": gaussian,
+        "exponential": exponential,
+        "distances": distances,
+        "target": target,
+    }
+
+
+def fit_gaussian_to_linear_kernel_2d(
+    rho: float,
+    *,
+    num_points: int = 400,
+    max_distance: float | None = None,
+) -> KernelFitResult:
+    """The paper's experiment-kernel construction (§5.1).
+
+    Computes the Gaussian decay rate ``c`` that best fits, in 2-D, the
+    isotropic linear kernel with correlation distance ``rho`` ("a cone with a
+    base radius of half chip length").  The fit is over separation distances
+    sampled on ``[0, max_distance]`` with the 2-D area weight ``w(v) ∝ v``:
+    in two dimensions the number of point pairs at separation ``v`` grows
+    linearly with ``v``, so an unweighted 1-D fit would over-weight tiny
+    separations relative to what a chip full of gate pairs actually sees.
+    """
+    if max_distance is None:
+        max_distance = rho
+    cone = LinearConeKernel(rho)
+    distances = np.linspace(0.0, max_distance, num_points)
+    target = cone.profile(distances)
+    weights = np.maximum(distances, distances[1] * 0.5)  # ∝ v, nonzero at v=0
+    return fit_gaussian_to_profile(
+        distances, target, weights=weights, initial_c=1.0 / rho**2
+    )
+
+
+def paper_experiment_kernel(chip_side: float = 2.0) -> GaussianKernel:
+    """The Gaussian kernel used throughout the paper's experiments.
+
+    The die is the normalized square of side ``chip_side`` (the paper uses
+    ``D = [-1, 1]²``, side 2) and the linear-kernel correlation distance is
+    half the chip length, ``rho = chip_side / 2``.  The returned kernel is
+    the 2-D best-fit Gaussian to that cone.
+    """
+    if chip_side <= 0.0:
+        raise ValueError(f"chip_side must be positive, got {chip_side}")
+    fit = fit_gaussian_to_linear_kernel_2d(chip_side / 2.0)
+    return fit.kernel  # type: ignore[return-value]

@@ -1,0 +1,78 @@
+"""Experiment drivers regenerating every figure and table of the paper.
+
+One module per exhibit:
+
+- :mod:`repro.experiments.fig1` — kernel surface and field outcomes,
+- :mod:`repro.experiments.fig3` — kernel fits + reconstruction error,
+- :mod:`repro.experiments.fig45` — eigenfunctions + eigenvalue decay,
+- :mod:`repro.experiments.fig6` — σ_d error vs r and vs n (c1908),
+- :mod:`repro.experiments.table1` — the per-circuit e_μ/e_σ/speedup table.
+"""
+
+from repro.experiments.common import (
+    DIE_BOUNDS,
+    PLACEMENT_SEED,
+    ExperimentContext,
+    default_num_samples,
+    full_mode,
+    get_context,
+)
+from repro.experiments.fig1 import (
+    Fig1aData,
+    Fig1bData,
+    fig1a_kernel_surface,
+    fig1b_field_outcomes,
+)
+from repro.experiments.fig3 import (
+    Fig3aData,
+    fig3a_kernel_fits,
+    fig3b_reconstruction_error,
+)
+from repro.experiments.fig45 import (
+    Fig4Data,
+    Fig5Data,
+    fig4_eigenfunctions,
+    fig5_eigenvalue_decay,
+)
+from repro.experiments.fig6 import (
+    Fig6Data,
+    Fig6Point,
+    fig6a_error_vs_r,
+    fig6b_error_vs_n,
+)
+from repro.experiments.table1 import (
+    LARGE_CIRCUITS,
+    default_table1_circuits,
+    format_table1,
+    run_table1,
+    run_table1_row,
+)
+
+__all__ = [
+    "DIE_BOUNDS",
+    "PLACEMENT_SEED",
+    "ExperimentContext",
+    "default_num_samples",
+    "full_mode",
+    "get_context",
+    "Fig1aData",
+    "Fig1bData",
+    "fig1a_kernel_surface",
+    "fig1b_field_outcomes",
+    "Fig3aData",
+    "fig3a_kernel_fits",
+    "fig3b_reconstruction_error",
+    "Fig4Data",
+    "Fig5Data",
+    "fig4_eigenfunctions",
+    "fig5_eigenvalue_decay",
+    "Fig6Data",
+    "Fig6Point",
+    "fig6a_error_vs_r",
+    "fig6b_error_vs_n",
+    "LARGE_CIRCUITS",
+    "default_table1_circuits",
+    "format_table1",
+    "run_table1",
+    "run_table1_row",
+]

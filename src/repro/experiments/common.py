@@ -1,0 +1,179 @@
+"""Shared experiment context: kernels, meshes, KLEs, circuits, placements.
+
+All figure/table drivers build on one :class:`ExperimentContext`, which
+memoizes the expensive artifacts (the paper mesh, the 200-eigenpair KLE,
+per-circuit placements) in memory and optionally on disk, so a bench run
+that touches several experiments does each setup once.
+
+Environment knobs (all optional):
+
+- ``REPRO_SAMPLES``     — MC sample count for Table 1 / Fig. 6 style runs
+  (default 2000; the paper used 100K on a C++ timer).
+- ``REPRO_FULL``        — set to 1 to include the three largest circuits
+  (16k–22k gates) whose reference Cholesky needs gigabytes.
+- ``REPRO_CACHE_DIR``   — on-disk cache directory for placements
+  (default: ``.repro_cache`` under the current directory; set empty to
+  disable).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.circuit.benchmarks import load_circuit
+from repro.circuit.netlist import Netlist
+from repro.core.galerkin import solve_kle
+from repro.core.kernel_fit import paper_experiment_kernel
+from repro.core.kernels import CovarianceKernel, GaussianKernel
+from repro.core.kle import KLEResult
+from repro.mesh.mesh import TriangleMesh
+from repro.mesh.refine import paper_mesh
+from repro.place.placer import Placement, place_netlist
+
+DIE_BOUNDS: Tuple[float, float, float, float] = (-1.0, -1.0, 1.0, 1.0)
+PLACEMENT_SEED = 2008  # DATE 2008
+
+
+def default_num_samples() -> int:
+    """MC sample count, overridable via ``REPRO_SAMPLES``."""
+    return int(os.environ.get("REPRO_SAMPLES", "2000"))
+
+
+def full_mode() -> bool:
+    """Whether the gigabyte-scale largest circuits are enabled."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")
+
+
+def cache_dir() -> Optional[str]:
+    """On-disk cache directory, or ``None`` when disabled."""
+    path = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    return path or None
+
+
+class ExperimentContext:
+    """Lazily built, memoized experimental artifacts (paper §5.1 setup)."""
+
+    def __init__(self):
+        self._kernel: Optional[GaussianKernel] = None
+        self._mesh: Optional[TriangleMesh] = None
+        self._kle: Optional[KLEResult] = None
+        self._circuits: Dict[str, Netlist] = {}
+        self._placements: Dict[str, Placement] = {}
+
+    @property
+    def kernel(self) -> GaussianKernel:
+        """The paper's Gaussian kernel (2-D best fit to the linear kernel)."""
+        if self._kernel is None:
+            self._kernel = paper_experiment_kernel()
+        return self._kernel
+
+    @property
+    def mesh(self) -> TriangleMesh:
+        """The paper's mesh: min angle 28°, max area 0.1 % of the die."""
+        if self._mesh is None:
+            self._mesh = paper_mesh()
+        return self._mesh
+
+    @property
+    def kle(self) -> KLEResult:
+        """200 leading eigenpairs of the experiment kernel on the paper mesh."""
+        if self._kle is None:
+            self._kle = solve_kle(self.kernel, self.mesh, num_eigenpairs=200)
+        return self._kle
+
+    def circuit(self, name: str) -> Netlist:
+        """Load (and memoize) a benchmark circuit by name."""
+        if name not in self._circuits:
+            self._circuits[name] = load_circuit(name)
+        return self._circuits[name]
+
+    def placement(self, name: str) -> Placement:
+        """Placed circuit (disk-cached; placement of 20k gates takes a bit)."""
+        if name not in self._placements:
+            netlist = self.circuit(name)
+            cached = _load_cached_placement(name, netlist)
+            if cached is None:
+                cached = place_netlist(
+                    netlist, DIE_BOUNDS, seed=PLACEMENT_SEED
+                )
+                _store_cached_placement(name, cached)
+            self._placements[name] = cached
+        return self._placements[name]
+
+    def kle_for_kernel(
+        self,
+        kernel: CovarianceKernel,
+        mesh: Optional[TriangleMesh] = None,
+        *,
+        num_eigenpairs: int = 200,
+    ) -> KLEResult:
+        """Solve a KLE for a non-default kernel (no memoization)."""
+        return solve_kle(
+            kernel, mesh or self.mesh, num_eigenpairs=num_eigenpairs
+        )
+
+
+_GLOBAL_CONTEXT: Optional[ExperimentContext] = None
+
+
+def get_context() -> ExperimentContext:
+    """The process-wide shared context (used by the benches)."""
+    global _GLOBAL_CONTEXT
+    if _GLOBAL_CONTEXT is None:
+        _GLOBAL_CONTEXT = ExperimentContext()
+    return _GLOBAL_CONTEXT
+
+
+def _placement_cache_path(name: str) -> Optional[str]:
+    directory = cache_dir()
+    if directory is None:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(
+        directory, f"placement_{name}_seed{PLACEMENT_SEED}.npz"
+    )
+
+
+def _load_cached_placement(name: str, netlist: Netlist) -> Optional[Placement]:
+    path = _placement_cache_path(name)
+    if path is None or not os.path.exists(path):
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            gate_xy = data["gate_xy"]
+            pad_names = [str(n) for n in data["pad_names"]]
+            pad_xy = data["pad_xy"]
+        if gate_xy.shape != (netlist.num_gates, 2):
+            return None
+        gate_positions = {
+            gate.name: (float(gate_xy[i, 0]), float(gate_xy[i, 1]))
+            for i, gate in enumerate(netlist.gates)
+        }
+        pad_positions = {
+            pad: (float(xy[0]), float(xy[1]))
+            for pad, xy in zip(pad_names, pad_xy)
+        }
+        return Placement(netlist, DIE_BOUNDS, gate_positions, pad_positions)
+    except (OSError, KeyError, ValueError):
+        return None
+
+
+def _store_cached_placement(name: str, placement: Placement) -> None:
+    path = _placement_cache_path(name)
+    if path is None:
+        return
+    gate_xy = placement.gate_locations()
+    pad_names = np.array(list(placement.pad_positions), dtype=str)
+    pad_xy = np.array(
+        [placement.pad_positions[n] for n in placement.pad_positions],
+        dtype=float,
+    ).reshape(-1, 2)
+    try:
+        np.savez_compressed(
+            path, gate_xy=gate_xy, pad_names=pad_names, pad_xy=pad_xy
+        )
+    except OSError:
+        pass  # cache is best-effort

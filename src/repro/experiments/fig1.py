@@ -1,0 +1,76 @@
+"""Figure 1: the covariance kernel surface and sampled field outcomes.
+
+- Fig. 1(a): the Gaussian (double-exponential) kernel ``K(0, y)`` plotted
+  over the normalized die ``[-1, 1]²``.
+- Fig. 1(b): two possible outcomes of the normalized-L field across the
+  chip, sampled exactly from the kernel (nearby devices track, distant
+  devices decorrelate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.kernels import CovarianceKernel
+from repro.experiments.common import DIE_BOUNDS, get_context
+from repro.field.random_field import RandomField
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class Fig1aData:
+    """Kernel surface samples: ``values[i, j] = K(0, (xs[j], ys[i]))``."""
+
+    xs: np.ndarray
+    ys: np.ndarray
+    values: np.ndarray
+
+
+@dataclass(frozen=True)
+class Fig1bData:
+    """Sampled field outcomes, one ``(resolution, resolution)`` map each."""
+
+    xs: np.ndarray
+    ys: np.ndarray
+    outcomes: np.ndarray  # (num_outcomes, resolution, resolution)
+
+
+def fig1a_kernel_surface(
+    kernel: Optional[CovarianceKernel] = None,
+    *,
+    resolution: int = 61,
+) -> Fig1aData:
+    """Evaluate ``K(x=0, y)`` over the die (the Fig. 1(a) surface)."""
+    if kernel is None:
+        kernel = get_context().kernel
+    xmin, ymin, xmax, ymax = DIE_BOUNDS
+    xs = np.linspace(xmin, xmax, resolution)
+    ys = np.linspace(ymin, ymax, resolution)
+    grid_x, grid_y = np.meshgrid(xs, ys, indexing="xy")
+    points = np.stack([grid_x, grid_y], axis=-1)
+    origin = np.zeros_like(points)
+    values = kernel(origin, points)
+    return Fig1aData(xs=xs, ys=ys, values=values)
+
+
+def fig1b_field_outcomes(
+    kernel: Optional[CovarianceKernel] = None,
+    *,
+    resolution: int = 40,
+    num_outcomes: int = 2,
+    seed: SeedLike = 2008,
+) -> Fig1bData:
+    """Draw exact field outcome maps (the Fig. 1(b) pictures)."""
+    if kernel is None:
+        kernel = get_context().kernel
+    field = RandomField(kernel)
+    points, samples = field.sample_on_grid(
+        DIE_BOUNDS, resolution, num_outcomes, seed=seed
+    )
+    xs = np.unique(points[:, 0])
+    ys = np.unique(points[:, 1])
+    outcomes = samples.reshape(num_outcomes, resolution, resolution)
+    return Fig1bData(xs=xs, ys=ys, outcomes=outcomes)

@@ -1,0 +1,159 @@
+"""Figure 6: σ_d estimation error vs truncation order r and mesh size n.
+
+The paper's convergence study on c1908 (880 gates): take a large MC-STA run
+as reference, then measure the relative error of the covariance-kernel STA
+estimate of per-output delay standard deviation while sweeping
+
+- (a) the number of eigenpairs r at fixed n = 1546, and
+- (b) the number of triangles n at fixed r = 25.
+
+Error decreases in both, with MC noise on top (the reference itself is a
+random estimate) — our reproduction keeps exactly that structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.galerkin import solve_kle
+from repro.experiments.common import (
+    DIE_BOUNDS,
+    default_num_samples,
+    get_context,
+)
+from repro.field.sampling import CholeskySampleGenerator, KLESampleGenerator
+from repro.mesh.refine import refine_to_triangle_count
+from repro.timing.library import STATISTICAL_PARAMETERS
+from repro.timing.sta import STAEngine
+from repro.timing.ssta import sigma_error_over_outputs
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    """One sweep point: the swept value and the resulting σ_d error."""
+
+    swept_value: int
+    sigma_error_percent: float
+    worst_sigma_error_percent: float
+
+
+@dataclass(frozen=True)
+class Fig6Data:
+    """One sweep (Fig. 6a or 6b)."""
+
+    circuit: str
+    swept: str  # "r" or "n"
+    points: List[Fig6Point]
+    num_samples: int
+
+
+def _reference_sta(context, circuit_name: str, num_samples: int, seed):
+    netlist = context.circuit(circuit_name)
+    placement = context.placement(circuit_name)
+    engine = STAEngine(netlist, placement)
+    kernels = {name: context.kernel for name in STATISTICAL_PARAMETERS}
+    generator = CholeskySampleGenerator(kernels)
+    generated = generator.generate(
+        placement.gate_locations(), num_samples, seed=seed
+    )
+    return engine, placement, engine.run(generated.samples)
+
+
+def fig6a_error_vs_r(
+    *,
+    circuit: str = "c1908",
+    r_values: Sequence[int] = (2, 5, 10, 15, 20, 25),
+    num_samples: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> Fig6Data:
+    """Sweep the truncation order r at the paper mesh (Fig. 6a)."""
+    context = get_context()
+    if num_samples is None:
+        num_samples = default_num_samples()
+    engine, placement, reference = _reference_sta(
+        context, circuit, num_samples, seed
+    )
+    kle = context.kle
+    locations = placement.gate_locations()
+    points: List[Fig6Point] = []
+    for index, r in enumerate(r_values):
+        generator = KLESampleGenerator(
+            {name: kle for name in STATISTICAL_PARAMETERS}, r=int(r)
+        )
+        generated = generator.generate(
+            locations, num_samples, seed=(None if seed is None else 7_000 + index)
+        )
+        candidate = engine.run(generated.samples)
+        points.append(
+            Fig6Point(
+                swept_value=int(r),
+                sigma_error_percent=sigma_error_over_outputs(
+                    reference, candidate
+                ),
+                worst_sigma_error_percent=_worst_delay_sigma_error(
+                    reference, candidate
+                ),
+            )
+        )
+    return Fig6Data(
+        circuit=circuit, swept="r", points=points, num_samples=num_samples
+    )
+
+
+def fig6b_error_vs_n(
+    *,
+    circuit: str = "c1908",
+    n_values: Sequence[int] = (100, 200, 400, 800, 1546),
+    r: int = 25,
+    num_samples: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> Fig6Data:
+    """Sweep the mesh size n at fixed truncation (Fig. 6b).
+
+    Each n gets its own Ruppert mesh (triangle count within ~15 % of the
+    target) and its own Galerkin KLE solve.
+    """
+    context = get_context()
+    if num_samples is None:
+        num_samples = default_num_samples()
+    engine, placement, reference = _reference_sta(
+        context, circuit, num_samples, seed
+    )
+    locations = placement.gate_locations()
+    xmin, ymin, xmax, ymax = DIE_BOUNDS
+    points: List[Fig6Point] = []
+    for index, n in enumerate(n_values):
+        mesh = refine_to_triangle_count(xmin, ymin, xmax, ymax, int(n))
+        num_pairs = min(max(4 * r, 50), mesh.num_triangles)
+        kle = solve_kle(context.kernel, mesh, num_eigenpairs=num_pairs)
+        effective_r = min(r, kle.num_eigenpairs)
+        generator = KLESampleGenerator(
+            {name: kle for name in STATISTICAL_PARAMETERS}, r=effective_r
+        )
+        generated = generator.generate(
+            locations, num_samples, seed=(None if seed is None else 9_000 + index)
+        )
+        candidate = engine.run(generated.samples)
+        points.append(
+            Fig6Point(
+                swept_value=mesh.num_triangles,
+                sigma_error_percent=sigma_error_over_outputs(
+                    reference, candidate
+                ),
+                worst_sigma_error_percent=_worst_delay_sigma_error(
+                    reference, candidate
+                ),
+            )
+        )
+    return Fig6Data(
+        circuit=circuit, swept="n", points=points, num_samples=num_samples
+    )
+
+
+def _worst_delay_sigma_error(reference, candidate) -> float:
+    ref = reference.std_worst_delay()
+    if ref <= 1e-12:
+        return 0.0
+    return 100.0 * abs(candidate.std_worst_delay() - ref) / ref

@@ -1,0 +1,170 @@
+"""2-D geometric primitives and predicates for triangular meshing.
+
+These are the building blocks of the Delaunay/Ruppert mesher
+(:mod:`repro.mesh.delaunay`, :mod:`repro.mesh.refine`) that stands in for
+Shewchuk's *Triangle* [24].  Predicates use double precision with explicit
+tolerances; degenerate (collinear / cocircular) configurations are broken
+deterministically toward the "outside" answer, which keeps the incremental
+Delaunay construction consistent on structured point sets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+Point = Tuple[float, float]
+
+# Relative tolerance for orientation/in-circle sign decisions.
+_EPS = 1e-12
+
+
+def orient2d(a: Point, b: Point, c: Point) -> float:
+    """Twice the signed area of triangle ``(a, b, c)``.
+
+    Positive when the triangle is counter-clockwise, negative when
+    clockwise, ~0 when (nearly) collinear.
+    """
+    return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+
+
+def orientation_sign(a: Point, b: Point, c: Point) -> int:
+    """Robust-ish sign of :func:`orient2d`: +1 CCW, -1 CW, 0 collinear.
+
+    The collinearity band scales with the magnitude of the coordinates so
+    the predicate behaves consistently for both unit-square and
+    micron-scale die coordinates.
+    """
+    det = orient2d(a, b, c)
+    scale = (
+        abs(b[0] - a[0]) + abs(b[1] - a[1]) + abs(c[0] - a[0]) + abs(c[1] - a[1])
+    )
+    if abs(det) <= _EPS * max(scale * scale, 1e-300):
+        return 0
+    return 1 if det > 0.0 else -1
+
+
+def in_circumcircle(a: Point, b: Point, c: Point, p: Point) -> bool:
+    """True when ``p`` lies strictly inside the circumcircle of CCW ``(a,b,c)``.
+
+    Cocircular points (within tolerance) report ``False`` — the standard
+    tie-break that keeps Bowyer–Watson cavities simply connected on grids.
+    The triangle must be counter-clockwise; callers maintain that invariant.
+    """
+    adx = a[0] - p[0]
+    ady = a[1] - p[1]
+    bdx = b[0] - p[0]
+    bdy = b[1] - p[1]
+    cdx = c[0] - p[0]
+    cdy = c[1] - p[1]
+    ad = adx * adx + ady * ady
+    bd = bdx * bdx + bdy * bdy
+    cd = cdx * cdx + cdy * cdy
+    det = (
+        adx * (bdy * cd - bd * cdy)
+        - ady * (bdx * cd - bd * cdx)
+        + ad * (bdx * cdy - bdy * cdx)
+    )
+    scale = max(ad, bd, cd, 1e-300)
+    return det > _EPS * scale * scale
+
+
+def triangle_area(a: Point, b: Point, c: Point) -> float:
+    """Unsigned area of triangle ``(a, b, c)``."""
+    return abs(orient2d(a, b, c)) * 0.5
+
+
+def triangle_centroid(a: Point, b: Point, c: Point) -> Point:
+    """Centroid (barycentre) of triangle ``(a, b, c)``."""
+    return ((a[0] + b[0] + c[0]) / 3.0, (a[1] + b[1] + c[1]) / 3.0)
+
+
+def triangle_circumcenter(a: Point, b: Point, c: Point) -> Point:
+    """Circumcenter of triangle ``(a, b, c)``.
+
+    Raises :class:`ValueError` for (near-)degenerate triangles, whose
+    circumcenter is undefined / at infinity.
+    """
+    d = 2.0 * orient2d(a, b, c)
+    side = max(
+        abs(b[0] - a[0]) + abs(b[1] - a[1]),
+        abs(c[0] - a[0]) + abs(c[1] - a[1]),
+        1e-300,
+    )
+    if abs(d) <= 1e-14 * side * side:
+        raise ValueError("degenerate triangle has no circumcenter")
+    a2 = a[0] * a[0] + a[1] * a[1]
+    b2 = b[0] * b[0] + b[1] * b[1]
+    c2 = c[0] * c[0] + c[1] * c[1]
+    ux = (a2 * (b[1] - c[1]) + b2 * (c[1] - a[1]) + c2 * (a[1] - b[1])) / d
+    uy = (a2 * (c[0] - b[0]) + b2 * (a[0] - c[0]) + c2 * (b[0] - a[0])) / d
+    return (ux, uy)
+
+
+def triangle_angles(a: Point, b: Point, c: Point) -> Tuple[float, float, float]:
+    """Interior angles (radians) at vertices ``a``, ``b``, ``c``."""
+    la = math.dist(b, c)
+    lb = math.dist(a, c)
+    lc = math.dist(a, b)
+    if la <= 0.0 or lb <= 0.0 or lc <= 0.0:
+        raise ValueError("degenerate triangle with a zero-length side")
+
+    def angle(opposite: float, s1: float, s2: float) -> float:
+        cos_val = (s1 * s1 + s2 * s2 - opposite * opposite) / (2.0 * s1 * s2)
+        return math.acos(min(1.0, max(-1.0, cos_val)))
+
+    return (angle(la, lb, lc), angle(lb, la, lc), angle(lc, la, lb))
+
+
+def triangle_min_angle(a: Point, b: Point, c: Point) -> float:
+    """Smallest interior angle (radians) — the Ruppert quality measure."""
+    return min(triangle_angles(a, b, c))
+
+
+def triangle_max_side(a: Point, b: Point, c: Point) -> float:
+    """Longest side length — the ``h`` of the paper's Theorem 2."""
+    return max(math.dist(a, b), math.dist(b, c), math.dist(a, c))
+
+
+def point_in_triangle(p: Point, a: Point, b: Point, c: Point) -> bool:
+    """True when ``p`` is inside or on the boundary of triangle ``(a,b,c)``.
+
+    Works for either vertex orientation.
+    """
+    s1 = orientation_sign(a, b, p)
+    s2 = orientation_sign(b, c, p)
+    s3 = orientation_sign(c, a, p)
+    has_neg = (s1 < 0) or (s2 < 0) or (s3 < 0)
+    has_pos = (s1 > 0) or (s2 > 0) or (s3 > 0)
+    return not (has_neg and has_pos)
+
+
+def segment_encroached(endpoint_a: Point, endpoint_b: Point, p: Point) -> bool:
+    """True when ``p`` lies strictly inside the diametral circle of a segment.
+
+    The diametral circle is the smallest circle through both endpoints; a
+    vertex inside it "encroaches" the segment in Ruppert's algorithm, which
+    then splits the segment at its midpoint.
+    """
+    mx = 0.5 * (endpoint_a[0] + endpoint_b[0])
+    my = 0.5 * (endpoint_a[1] + endpoint_b[1])
+    radius_sq = 0.25 * (
+        (endpoint_b[0] - endpoint_a[0]) ** 2 + (endpoint_b[1] - endpoint_a[1]) ** 2
+    )
+    dist_sq = (p[0] - mx) ** 2 + (p[1] - my) ** 2
+    return dist_sq < radius_sq * (1.0 - 1e-12)
+
+
+def bounding_box(points: np.ndarray) -> Tuple[float, float, float, float]:
+    """``(xmin, ymin, xmax, ymax)`` of a non-empty ``(n, 2)`` point array."""
+    points = np.asarray(points, dtype=float)
+    if points.size == 0:
+        raise ValueError("bounding_box of an empty point set is undefined")
+    return (
+        float(points[:, 0].min()),
+        float(points[:, 1].min()),
+        float(points[:, 0].max()),
+        float(points[:, 1].max()),
+    )

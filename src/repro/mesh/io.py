@@ -1,0 +1,84 @@
+"""Mesh persistence: compact ``.npz`` plus Triangle-compatible text formats.
+
+The text formats are Shewchuk's ``.node`` / ``.ele`` pair so meshes can be
+exchanged with the original *Triangle* tool chain the paper used.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+import numpy as np
+
+from repro.mesh.mesh import TriangleMesh
+
+
+def save_mesh_npz(mesh: TriangleMesh, path: str) -> None:
+    """Save a mesh to a single ``.npz`` file."""
+    np.savez_compressed(path, vertices=mesh.vertices, triangles=mesh.triangles)
+
+
+def load_mesh_npz(path: str) -> TriangleMesh:
+    """Load a mesh previously saved with :func:`save_mesh_npz`."""
+    with np.load(path) as data:
+        return TriangleMesh(data["vertices"], data["triangles"])
+
+
+def save_mesh_triangle_format(mesh: TriangleMesh, basename: str) -> Tuple[str, str]:
+    """Write ``<basename>.node`` and ``<basename>.ele`` (Triangle format).
+
+    Node file: ``<#points> 2 0 0`` header then ``index x y`` rows.
+    Element file: ``<#triangles> 3 0`` header then ``index v1 v2 v3`` rows.
+    Indices are 1-based, matching Triangle's default.
+    """
+    node_path = basename + ".node"
+    ele_path = basename + ".ele"
+    with open(node_path, "w") as node_file:
+        node_file.write(f"{mesh.num_vertices} 2 0 0\n")
+        for i, (x, y) in enumerate(mesh.vertices, start=1):
+            node_file.write(f"{i} {float(x)!r} {float(y)!r}\n")
+    with open(ele_path, "w") as ele_file:
+        ele_file.write(f"{mesh.num_triangles} 3 0\n")
+        for i, (a, b, c) in enumerate(mesh.triangles, start=1):
+            ele_file.write(f"{i} {a + 1} {b + 1} {c + 1}\n")
+    return node_path, ele_path
+
+
+def load_mesh_triangle_format(basename: str) -> TriangleMesh:
+    """Read a ``.node``/``.ele`` pair written by Triangle or by
+    :func:`save_mesh_triangle_format` (handles both 0- and 1-based files)."""
+    node_path = basename + ".node"
+    ele_path = basename + ".ele"
+    if not os.path.exists(node_path) or not os.path.exists(ele_path):
+        raise FileNotFoundError(f"missing {node_path} or {ele_path}")
+
+    def data_lines(path: str):
+        with open(path) as handle:
+            for line in handle:
+                stripped = line.split("#", 1)[0].strip()
+                if stripped:
+                    yield stripped.split()
+
+    node_rows = list(data_lines(node_path))
+    num_nodes = int(node_rows[0][0])
+    rows = node_rows[1 : 1 + num_nodes]
+    indices = [int(r[0]) for r in rows]
+    base = min(indices)
+    vertices = np.zeros((num_nodes, 2), dtype=float)
+    for row in rows:
+        vertices[int(row[0]) - base] = (float(row[1]), float(row[2]))
+
+    ele_rows = list(data_lines(ele_path))
+    num_triangles = int(ele_rows[0][0])
+    triangles = np.zeros((num_triangles, 3), dtype=np.int64)
+    rows = ele_rows[1 : 1 + num_triangles]
+    ele_indices = [int(r[0]) for r in rows]
+    ele_base = min(ele_indices)
+    for row in rows:
+        triangles[int(row[0]) - ele_base] = (
+            int(row[1]) - base,
+            int(row[2]) - base,
+            int(row[3]) - base,
+        )
+    return TriangleMesh(vertices, triangles)

@@ -1,0 +1,92 @@
+"""Point-in-triangle location with a uniform-grid spatial index.
+
+The paper's Algorithm 2 maps every gate location to its containing triangle
+(``IndexOfContainingTriangle``) and notes that "some space indexing (grid,
+tree, etc.) scheme" makes this efficient.  This module implements the grid
+variant: triangles are bucketed by the grid cells their bounding boxes
+touch; a query tests only the triangles in the query point's cell.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.mesh.geometry import point_in_triangle
+from repro.mesh.mesh import TriangleMesh
+
+
+class TriangleLocator:
+    """Uniform-grid point-location index over a :class:`TriangleMesh`.
+
+    Parameters
+    ----------
+    mesh:
+        The mesh to index.
+    cells_per_axis:
+        Grid resolution; ``None`` picks ``~sqrt(num_triangles)`` per axis so
+        each bucket holds O(1) triangles on quality meshes.
+    """
+
+    def __init__(self, mesh: TriangleMesh, cells_per_axis: int | None = None):
+        self.mesh = mesh
+        vertices = mesh.vertices
+        self._xmin = float(vertices[:, 0].min())
+        self._ymin = float(vertices[:, 1].min())
+        xmax = float(vertices[:, 0].max())
+        ymax = float(vertices[:, 1].max())
+        if cells_per_axis is None:
+            cells_per_axis = max(1, int(math.sqrt(max(mesh.num_triangles, 1))))
+        self._cells = int(cells_per_axis)
+        if self._cells < 1:
+            raise ValueError(f"cells_per_axis must be >= 1, got {cells_per_axis}")
+        self._dx = max((xmax - self._xmin) / self._cells, 1e-300)
+        self._dy = max((ymax - self._ymin) / self._cells, 1e-300)
+
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        tri_points = vertices[mesh.triangles]  # (nt, 3, 2)
+        mins = tri_points.min(axis=1)
+        maxs = tri_points.max(axis=1)
+        for tri_index in range(mesh.num_triangles):
+            cx0, cy0 = self._cell_of(mins[tri_index, 0], mins[tri_index, 1])
+            cx1, cy1 = self._cell_of(maxs[tri_index, 0], maxs[tri_index, 1])
+            for cx in range(cx0, cx1 + 1):
+                for cy in range(cy0, cy1 + 1):
+                    buckets.setdefault((cx, cy), []).append(tri_index)
+        self._buckets = buckets
+
+    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        cx = int((x - self._xmin) / self._dx)
+        cy = int((y - self._ymin) / self._dy)
+        return (
+            min(max(cx, 0), self._cells - 1),
+            min(max(cy, 0), self._cells - 1),
+        )
+
+    def locate(self, point) -> int:
+        """Index of a triangle containing ``point``.
+
+        Points on shared edges may match several triangles; the lowest
+        candidate index in the bucket wins (deterministic).  Raises
+        :class:`ValueError` for points outside the mesh.
+        """
+        px, py = float(point[0]), float(point[1])
+        candidates = self._buckets.get(self._cell_of(px, py), [])
+        for tri_index in candidates:
+            a, b, c = self.mesh.triangle_points(tri_index)
+            if point_in_triangle((px, py), tuple(a), tuple(b), tuple(c)):
+                return tri_index
+        raise ValueError(f"point ({px}, {py}) is outside the mesh")
+
+    def locate_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized wrapper: one containing-triangle index per point.
+
+        This is the mapping used in the paper's Algorithm 2 line 5 to pull a
+        gate's parameter value out of the per-triangle sample matrix.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError(f"points must be (n, 2), got {points.shape}")
+        return np.array([self.locate(p) for p in points], dtype=np.int64)

@@ -1,0 +1,266 @@
+"""The :class:`TriangleMesh` container used by the Galerkin KLE solver.
+
+A mesh is a triangulation of the die area ``D`` (paper §4.1, eq. (17)):
+``D = ∪ Δ_i`` where triangles overlap in at most one side.  The Galerkin
+method only needs three per-triangle quantities — areas ``a_i`` (the ``Φ``
+diagonal), centroids ``x_Δi`` (the quadrature nodes) and the maximum side
+``h`` (the convergence parameter of Theorem 2) — all of which this class
+precomputes and caches as numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.mesh import geometry
+
+
+@dataclass(frozen=True)
+class MeshQuality:
+    """Summary statistics of a mesh, mirroring Triangle's report.
+
+    Attributes
+    ----------
+    num_vertices, num_triangles: mesh size.
+    min_angle_degrees: smallest interior angle over all triangles.
+    max_area: largest triangle area.
+    min_area: smallest triangle area.
+    max_side: the ``h`` of Theorem 2 (largest side over all triangles).
+    total_area: sum of triangle areas (should equal the domain area).
+    """
+
+    num_vertices: int
+    num_triangles: int
+    min_angle_degrees: float
+    max_area: float
+    min_area: float
+    max_side: float
+    total_area: float
+
+
+class TriangleMesh:
+    """Immutable triangulation of a planar domain.
+
+    Parameters
+    ----------
+    vertices:
+        ``(nv, 2)`` float array of vertex coordinates.
+    triangles:
+        ``(nt, 3)`` int array of vertex indices.  Triangles are normalized
+        to counter-clockwise orientation on construction.
+
+    Raises
+    ------
+    ValueError
+        For out-of-range indices, repeated vertices within a triangle, or
+        (near-)zero-area triangles.
+    """
+
+    def __init__(self, vertices: np.ndarray, triangles: np.ndarray):
+        vertices = np.ascontiguousarray(np.asarray(vertices, dtype=float))
+        triangles = np.ascontiguousarray(np.asarray(triangles, dtype=np.int64))
+        if vertices.ndim != 2 or vertices.shape[1] != 2:
+            raise ValueError(f"vertices must be (nv, 2), got {vertices.shape}")
+        if triangles.ndim != 2 or triangles.shape[1] != 3:
+            raise ValueError(f"triangles must be (nt, 3), got {triangles.shape}")
+        if triangles.size and (triangles.min() < 0 or triangles.max() >= len(vertices)):
+            raise ValueError("triangle vertex index out of range")
+        for tri in triangles:
+            if len({int(tri[0]), int(tri[1]), int(tri[2])}) != 3:
+                raise ValueError(f"triangle {tri.tolist()} repeats a vertex")
+
+        # Normalize to CCW orientation so signed areas are positive.
+        a = vertices[triangles[:, 0]]
+        b = vertices[triangles[:, 1]]
+        c = vertices[triangles[:, 2]]
+        signed = (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1]) - (b[:, 1] - a[:, 1]) * (
+            c[:, 0] - a[:, 0]
+        )
+        flip = signed < 0.0
+        if np.any(flip):
+            triangles = triangles.copy()
+            triangles[flip, 1], triangles[flip, 2] = (
+                triangles[flip, 2].copy(),
+                triangles[flip, 1].copy(),
+            )
+            signed = np.abs(signed)
+        areas = 0.5 * np.abs(signed)
+        if triangles.size and np.any(areas <= 0.0):
+            bad = int(np.argmin(areas))
+            raise ValueError(
+                f"triangle {triangles[bad].tolist()} is degenerate (area ~ 0)"
+            )
+
+        self._vertices = vertices
+        self._vertices.setflags(write=False)
+        self._triangles = triangles
+        self._triangles.setflags(write=False)
+        self._areas = areas
+        self._areas.setflags(write=False)
+        self._centroids = (
+            vertices[triangles[:, 0]]
+            + vertices[triangles[:, 1]]
+            + vertices[triangles[:, 2]]
+        ) / 3.0
+        self._centroids.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Core arrays used by the Galerkin assembly.
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> np.ndarray:
+        """``(nv, 2)`` vertex coordinates (read-only)."""
+        return self._vertices
+
+    @property
+    def triangles(self) -> np.ndarray:
+        """``(nt, 3)`` CCW vertex indices (read-only)."""
+        return self._triangles
+
+    @property
+    def areas(self) -> np.ndarray:
+        """``(nt,)`` triangle areas — the diagonal of ``Φ`` (eq. (18))."""
+        return self._areas
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """``(nt,)`` triangle centroids — the quadrature nodes of eq. (21)."""
+        return self._centroids
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_triangles(self) -> int:
+        return len(self._triangles)
+
+    def __len__(self) -> int:
+        return self.num_triangles
+
+    # ------------------------------------------------------------------
+    # Derived geometry.
+    # ------------------------------------------------------------------
+    def triangle_points(self, index: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The three vertex coordinate arrays of triangle ``index``."""
+        tri = self._triangles[index]
+        return (
+            self._vertices[tri[0]],
+            self._vertices[tri[1]],
+            self._vertices[tri[2]],
+        )
+
+    def iter_triangle_points(self) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield the vertex-coordinate triple of every triangle."""
+        for i in range(self.num_triangles):
+            yield self.triangle_points(i)
+
+    def side_lengths(self) -> np.ndarray:
+        """``(nt, 3)`` side lengths of every triangle."""
+        a = self._vertices[self._triangles[:, 0]]
+        b = self._vertices[self._triangles[:, 1]]
+        c = self._vertices[self._triangles[:, 2]]
+        return np.stack(
+            [
+                np.linalg.norm(b - c, axis=1),
+                np.linalg.norm(a - c, axis=1),
+                np.linalg.norm(a - b, axis=1),
+            ],
+            axis=1,
+        )
+
+    def max_side(self) -> float:
+        """``h`` — the largest triangle side in the mesh (Theorem 2)."""
+        if self.num_triangles == 0:
+            return 0.0
+        return float(self.side_lengths().max())
+
+    def min_angle_degrees(self) -> float:
+        """Smallest interior angle over all triangles, in degrees."""
+        if self.num_triangles == 0:
+            return 0.0
+        sides = self.side_lengths()
+        la, lb, lc = sides[:, 0], sides[:, 1], sides[:, 2]
+
+        def angles(opposite, s1, s2):
+            cos_val = (s1 * s1 + s2 * s2 - opposite * opposite) / (2.0 * s1 * s2)
+            return np.degrees(np.arccos(np.clip(cos_val, -1.0, 1.0)))
+
+        all_angles = np.stack(
+            [angles(la, lb, lc), angles(lb, la, lc), angles(lc, la, lb)], axis=1
+        )
+        return float(all_angles.min())
+
+    def total_area(self) -> float:
+        """Sum of triangle areas; equals the domain area for a cover of D."""
+        return float(self._areas.sum())
+
+    def quality(self) -> MeshQuality:
+        """Aggregate quality report (see :class:`MeshQuality`)."""
+        return MeshQuality(
+            num_vertices=self.num_vertices,
+            num_triangles=self.num_triangles,
+            min_angle_degrees=self.min_angle_degrees(),
+            max_area=float(self._areas.max()) if self.num_triangles else 0.0,
+            min_area=float(self._areas.min()) if self.num_triangles else 0.0,
+            max_side=self.max_side(),
+            total_area=self.total_area(),
+        )
+
+    # ------------------------------------------------------------------
+    # Structural validation.
+    # ------------------------------------------------------------------
+    def edge_use_counts(self) -> dict:
+        """Map from undirected edge ``(u, v)`` to number of triangles using it.
+
+        In a valid triangulation of a simply connected domain every edge is
+        used by one triangle (boundary) or two (interior) — "a maximum
+        overlap of one side" in the paper's wording.
+        """
+        counts: dict = {}
+        for tri in self._triangles:
+            idx = [int(tri[0]), int(tri[1]), int(tri[2])]
+            for u, v in ((idx[0], idx[1]), (idx[1], idx[2]), (idx[2], idx[0])):
+                key = (u, v) if u < v else (v, u)
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def is_conforming(self) -> bool:
+        """True when no edge is shared by more than two triangles."""
+        return all(count <= 2 for count in self.edge_use_counts().values())
+
+    def boundary_edges(self) -> list:
+        """Undirected edges used by exactly one triangle (the domain boundary)."""
+        return [edge for edge, count in self.edge_use_counts().items() if count == 1]
+
+    def contains_point(self, point) -> bool:
+        """Slow (O(nt)) point-in-mesh test; use :mod:`repro.mesh.locate` in loops."""
+        px, py = float(point[0]), float(point[1])
+        for a, b, c in self.iter_triangle_points():
+            if geometry.point_in_triangle((px, py), tuple(a), tuple(b), tuple(c)):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"TriangleMesh(num_vertices={self.num_vertices}, "
+            f"num_triangles={self.num_triangles}, "
+            f"h={self.max_side():.4g})"
+        )
+
+
+def mesh_h_for_target_triangles(domain_area: float, num_triangles: int) -> float:
+    """Rough ``h`` estimate for a quality mesh with ``num_triangles`` elements.
+
+    Assumes near-equilateral triangles of equal area ``domain_area / nt``;
+    used to seed refinement loops and for convergence-study bookkeeping.
+    """
+    if domain_area <= 0.0 or num_triangles <= 0:
+        raise ValueError("domain_area and num_triangles must be positive")
+    area = domain_area / num_triangles
+    # Equilateral: area = sqrt(3)/4 * side^2.
+    return math.sqrt(4.0 * area / math.sqrt(3.0))

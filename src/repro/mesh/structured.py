@@ -1,0 +1,81 @@
+"""Structured (uniform) triangulations of rectangles.
+
+The paper notes (§4.1 footnote) that any meshing is usable by the Galerkin
+method; structured meshes are provided both as a fast deterministic
+alternative to Ruppert refinement and for the mesh-type ablation bench.
+Each grid cell is split into two right triangles with alternating diagonal
+direction ("union-jack"-ish) so the mesh has no preferred diagonal bias.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mesh.mesh import TriangleMesh
+
+
+def structured_rectangle_mesh(
+    xmin: float,
+    ymin: float,
+    xmax: float,
+    ymax: float,
+    cells_x: int,
+    cells_y: int,
+    *,
+    alternate_diagonals: bool = True,
+) -> TriangleMesh:
+    """Uniform triangulation with ``2 * cells_x * cells_y`` triangles."""
+    if xmax <= xmin or ymax <= ymin:
+        raise ValueError("rectangle must have positive width and height")
+    if cells_x < 1 or cells_y < 1:
+        raise ValueError("cells_x and cells_y must be >= 1")
+    xs = np.linspace(xmin, xmax, cells_x + 1)
+    ys = np.linspace(ymin, ymax, cells_y + 1)
+    grid_x, grid_y = np.meshgrid(xs, ys, indexing="xy")
+    vertices = np.column_stack([grid_x.ravel(), grid_y.ravel()])
+
+    def vid(col: int, row: int) -> int:
+        return row * (cells_x + 1) + col
+
+    triangles = []
+    for row in range(cells_y):
+        for col in range(cells_x):
+            v00 = vid(col, row)
+            v10 = vid(col + 1, row)
+            v01 = vid(col, row + 1)
+            v11 = vid(col + 1, row + 1)
+            flip = alternate_diagonals and ((row + col) % 2 == 1)
+            if flip:
+                triangles.append((v00, v10, v01))
+                triangles.append((v10, v11, v01))
+            else:
+                triangles.append((v00, v10, v11))
+                triangles.append((v00, v11, v01))
+    return TriangleMesh(vertices, np.array(triangles, dtype=np.int64))
+
+
+def structured_mesh_with_triangle_count(
+    xmin: float,
+    ymin: float,
+    xmax: float,
+    ymax: float,
+    target_triangles: int,
+) -> TriangleMesh:
+    """Structured mesh whose triangle count is close to ``target_triangles``.
+
+    Picks a near-square grid honouring the rectangle's aspect ratio; the
+    actual count is ``2 * cells_x * cells_y`` which may differ slightly from
+    the target (always within a factor set by integer rounding).
+    """
+    if target_triangles < 2:
+        raise ValueError(f"target_triangles must be >= 2, got {target_triangles}")
+    width = xmax - xmin
+    height = ymax - ymin
+    if width <= 0.0 or height <= 0.0:
+        raise ValueError("rectangle must have positive width and height")
+    cells_total = target_triangles / 2.0
+    cells_x = max(1, round(math.sqrt(cells_total * width / height)))
+    cells_y = max(1, round(cells_total / cells_x))
+    return structured_rectangle_mesh(xmin, ymin, xmax, ymax, cells_x, cells_y)

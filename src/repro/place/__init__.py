@@ -1,0 +1,15 @@
+"""Placement substrate (Capo [23] stand-in): FM mincut + recursive bisection."""
+
+from repro.place.partition import cut_size, fm_bipartition
+from repro.place.placer import Placement, place_netlist
+from repro.place.hpwl import all_net_hpwl, net_hpwl, total_hpwl
+
+__all__ = [
+    "cut_size",
+    "fm_bipartition",
+    "Placement",
+    "place_netlist",
+    "all_net_hpwl",
+    "net_hpwl",
+    "total_hpwl",
+]

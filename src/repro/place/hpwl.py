@@ -1,0 +1,34 @@
+"""Half-perimeter wirelength (HPWL) — the paper's wire-load model (§5.1).
+
+Each net's wire is modeled by the half perimeter of the bounding box of its
+pins; the timing flow converts HPWL to wire RC via per-unit-length
+constants from the technology (:mod:`repro.timing.library`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.place.placer import Placement
+
+
+def net_hpwl(placement: Placement, net: str) -> float:
+    """Half-perimeter wirelength of one net (0.0 for single-pin nets)."""
+    pins = placement.net_pin_positions(net)
+    if len(pins) < 2:
+        return 0.0
+    arr = np.asarray(pins, dtype=float)
+    spans = arr.max(axis=0) - arr.min(axis=0)
+    return float(spans[0] + spans[1])
+
+
+def all_net_hpwl(placement: Placement) -> Dict[str, float]:
+    """HPWL of every net in the placed design."""
+    return {net: net_hpwl(placement, net) for net in placement.netlist.nets}
+
+
+def total_hpwl(placement: Placement) -> float:
+    """Sum of all net HPWLs — the placer's quality objective."""
+    return float(sum(all_net_hpwl(placement).values()))

@@ -1,0 +1,243 @@
+"""Synthetic 90nm-class cell library and technology constants.
+
+Stand-in for the Cadence 90nm Generic PDK used in the paper (§5.1).  Every
+combinational gate type gets a characterized timing model:
+
+- nominal delay/slew as affine functions of input slew and load cap (the
+  standard linear characterization), and
+- statistical sensitivity as a **rank-one quadratic** in the four normalized
+  process parameters (L, W, Vt, tox), the Li et al. [22] model the paper
+  uses: the four parameters enter only through the scalar projection
+  ``u = wᵀ p``, and delay scales by ``(1 + k₁ u + k₂ u²)``.
+
+Units are chosen so arithmetic stays O(1): time in ps, capacitance in fF,
+resistance in kΩ (1 kΩ × 1 fF = 1 ps).
+
+The numeric values are synthetic but 90nm-plausible (FO4 ≈ 30–40 ps,
+pin caps of a few fF, drive resistances of a few kΩ); see DESIGN.md §4 for
+the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+# Normalized statistical parameter names, fixed order used everywhere.
+STATISTICAL_PARAMETERS: Tuple[str, ...] = ("L", "W", "Vt", "tox")
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Die and interconnect constants.
+
+    Attributes
+    ----------
+    die_side_um:
+        Physical side of the (square) die in µm; the normalized die
+        ``[-1, 1]²`` maps onto it.
+    wire_res_kohm_per_um / wire_cap_ff_per_um:
+        Per-unit-length RC of the routing layer (90nm intermediate-layer
+        ballpark: 0.25 Ω/µm → 2.5e-4 kΩ/µm; 0.2 fF/µm).
+    default_input_slew_ps:
+        Slew assumed at primary inputs / DFF outputs.
+    """
+
+    die_side_um: float = 1000.0
+    wire_res_kohm_per_um: float = 3.0e-4
+    wire_cap_ff_per_um: float = 0.1
+    default_input_slew_ps: float = 50.0
+
+    def normalized_to_um(self, length_normalized: float) -> float:
+        """Convert a length in normalized die units (die side = 2) to µm."""
+        return length_normalized * self.die_side_um / 2.0
+
+
+@dataclass(frozen=True)
+class GateTimingModel:
+    """Characterized timing of one gate type (rank-one quadratic [22]).
+
+    Nominal behaviour (ps, fF):
+
+        delay  = d0 + d_slew * slew_in + d_load * C_load
+        slew   = s0 + s_slew * slew_in + s_load * C_load
+
+    Statistical behaviour: both scale by ``(1 + k1 u + k2 u²)`` (delay) and
+    ``(1 + m1 u + m2 u²)`` (slew), with ``u = direction · p`` and ``p`` the
+    four normalized parameters.  ``direction`` has unit Euclidean norm so
+    ``u`` is N(0,1) when the parameters are independent N(0,1) — its
+    entries are the per-parameter sensitivities (delay grows with L, Vt,
+    tox and shrinks with W).
+    """
+
+    gate_type: str
+    d0: float
+    d_slew: float
+    d_load: float
+    s0: float
+    s_slew: float
+    s_load: float
+    input_cap_ff: float
+    k1: float
+    k2: float
+    m1: float
+    m2: float
+    direction: np.ndarray
+
+    def __post_init__(self):
+        direction = np.asarray(self.direction, dtype=float)
+        if direction.shape != (len(STATISTICAL_PARAMETERS),):
+            raise ValueError(
+                f"direction must have {len(STATISTICAL_PARAMETERS)} entries"
+            )
+        norm = float(np.linalg.norm(direction))
+        if norm <= 0.0:
+            raise ValueError("direction must be nonzero")
+        object.__setattr__(self, "direction", direction / norm)
+
+    def nominal_delay(self, slew_in: float, load_ff: float) -> float:
+        """Nominal pin-to-output delay (ps) at given slew and load."""
+        return self.d0 + self.d_slew * slew_in + self.d_load * load_ff
+
+    def nominal_slew(self, slew_in: float, load_ff: float) -> float:
+        """Nominal output slew (ps) at given input slew and load."""
+        return self.s0 + self.s_slew * slew_in + self.s_load * load_ff
+
+    def statistical_scale(self, u: np.ndarray) -> np.ndarray:
+        """Delay multiplier ``1 + k1 u + k2 u²`` (clipped to stay positive)."""
+        u = np.asarray(u, dtype=float)
+        return np.maximum(1.0 + self.k1 * u + self.k2 * u * u, 0.05)
+
+    def statistical_slew_scale(self, u: np.ndarray) -> np.ndarray:
+        """Slew multiplier ``1 + m1 u + m2 u²`` (clipped positive)."""
+        u = np.asarray(u, dtype=float)
+        return np.maximum(1.0 + self.m1 * u + self.m2 * u * u, 0.05)
+
+
+def _fanin_scaled(base: "GateTimingModel", fanin: int) -> "GateTimingModel":
+    """Derate a 2-input characterization for wider gates.
+
+    Series transistor stacks slow the gate and add pin load; the 18 %/input
+    delay and 12 %/input cap derating factors follow the usual logical-effort
+    style scaling.
+    """
+    if fanin <= 2:
+        return base
+    extra = fanin - 2
+    factor = 1.0 + 0.18 * extra
+    cap_factor = 1.0 + 0.12 * extra
+    return GateTimingModel(
+        gate_type=base.gate_type,
+        d0=base.d0 * factor,
+        d_slew=base.d_slew,
+        d_load=base.d_load * factor,
+        s0=base.s0 * factor,
+        s_slew=base.s_slew,
+        s_load=base.s_load * factor,
+        input_cap_ff=base.input_cap_ff * cap_factor,
+        k1=base.k1,
+        k2=base.k2,
+        m1=base.m1,
+        m2=base.m2,
+        direction=base.direction,
+    )
+
+
+class CellLibrary:
+    """The full characterized library: one model per (type, fanin).
+
+    ``model_for(gate_type, fanin)`` returns the characterized (and, for wide
+    gates, fanin-derated) timing model; results are cached.
+    """
+
+    def __init__(self, technology: Technology | None = None):
+        self.technology = technology or Technology()
+        self._base_models = _build_base_models()
+        self._cache: Dict[Tuple[str, int], GateTimingModel] = {}
+
+    def model_for(self, gate_type: str, fanin: int) -> GateTimingModel:
+        """Characterized (fanin-derated) model for a gate type; cached."""
+        key = (gate_type, fanin)
+        if key not in self._cache:
+            try:
+                base = self._base_models[gate_type]
+            except KeyError:
+                raise KeyError(
+                    f"library has no model for gate type {gate_type!r}"
+                ) from None
+            self._cache[key] = _fanin_scaled(base, fanin)
+        return self._cache[key]
+
+    def input_cap(self, gate_type: str, fanin: int) -> float:
+        """Per-pin input capacitance in fF."""
+        return self.model_for(gate_type, fanin).input_cap_ff
+
+    @property
+    def gate_types(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._base_models))
+
+
+def _build_base_models() -> Dict[str, GateTimingModel]:
+    """The 2-input (or 1-input) characterization table.
+
+    Delay/slew coefficients give FO4-style delays in the 25–60 ps range at
+    typical 90nm loads; statistical sensitivities put one-sigma gate-delay
+    variation around 6–10 %, consistent with published 90nm intra-die data.
+    Directions: delay rises with L, Vt, tox and falls with W; dynamic
+    (XOR-like) gates lean harder on Vt, buffers on L.
+    """
+    def direction(l, w, vt, tox):
+        return np.array([l, w, vt, tox], dtype=float)
+
+    models = {
+        "NOT": GateTimingModel(
+            "NOT", d0=12.0, d_slew=0.12, d_load=2.4, s0=14.0, s_slew=0.20,
+            s_load=3.0, input_cap_ff=1.8, k1=0.080, k2=0.010, m1=0.070,
+            m2=0.008, direction=direction(0.62, -0.38, 0.58, 0.35),
+        ),
+        "BUFF": GateTimingModel(
+            "BUFF", d0=22.0, d_slew=0.10, d_load=2.0, s0=16.0, s_slew=0.15,
+            s_load=2.6, input_cap_ff=2.0, k1=0.072, k2=0.009, m1=0.064,
+            m2=0.007, direction=direction(0.70, -0.32, 0.52, 0.36),
+        ),
+        "NAND": GateTimingModel(
+            "NAND", d0=16.0, d_slew=0.14, d_load=2.8, s0=18.0, s_slew=0.22,
+            s_load=3.4, input_cap_ff=2.2, k1=0.085, k2=0.011, m1=0.075,
+            m2=0.009, direction=direction(0.60, -0.40, 0.60, 0.34),
+        ),
+        "NOR": GateTimingModel(
+            "NOR", d0=19.0, d_slew=0.16, d_load=3.2, s0=21.0, s_slew=0.24,
+            s_load=3.8, input_cap_ff=2.4, k1=0.090, k2=0.012, m1=0.080,
+            m2=0.010, direction=direction(0.58, -0.44, 0.58, 0.35),
+        ),
+        "AND": GateTimingModel(
+            "AND", d0=26.0, d_slew=0.13, d_load=2.5, s0=19.0, s_slew=0.18,
+            s_load=3.0, input_cap_ff=2.2, k1=0.078, k2=0.010, m1=0.070,
+            m2=0.008, direction=direction(0.62, -0.38, 0.56, 0.37),
+        ),
+        "OR": GateTimingModel(
+            "OR", d0=28.0, d_slew=0.14, d_load=2.6, s0=20.0, s_slew=0.19,
+            s_load=3.1, input_cap_ff=2.3, k1=0.082, k2=0.010, m1=0.072,
+            m2=0.009, direction=direction(0.60, -0.40, 0.58, 0.37),
+        ),
+        "XOR": GateTimingModel(
+            "XOR", d0=34.0, d_slew=0.18, d_load=3.6, s0=26.0, s_slew=0.26,
+            s_load=4.2, input_cap_ff=3.0, k1=0.095, k2=0.013, m1=0.085,
+            m2=0.011, direction=direction(0.52, -0.36, 0.68, 0.38),
+        ),
+        "XNOR": GateTimingModel(
+            "XNOR", d0=35.0, d_slew=0.18, d_load=3.6, s0=26.0, s_slew=0.26,
+            s_load=4.2, input_cap_ff=3.0, k1=0.095, k2=0.013, m1=0.085,
+            m2=0.011, direction=direction(0.52, -0.36, 0.68, 0.38),
+        ),
+        # DFF timing: clk->Q treated as a start point with this output model
+        # (its input pin only loads the driving net).
+        "DFF": GateTimingModel(
+            "DFF", d0=45.0, d_slew=0.0, d_load=2.2, s0=24.0, s_slew=0.0,
+            s_load=2.8, input_cap_ff=2.6, k1=0.070, k2=0.009, m1=0.062,
+            m2=0.008, direction=direction(0.60, -0.38, 0.60, 0.36),
+        ),
+    }
+    return models

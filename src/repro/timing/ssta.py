@@ -1,0 +1,301 @@
+"""Monte-Carlo SSTA: reference (Algorithm 1) vs covariance-kernel
+(Algorithm 2) flows, and their Table 1 comparison.
+
+The experiment design follows the paper's §5.1 exactly: both flows run the
+*same* core STA engine on the same placed circuit with the same number of
+MC samples; the only difference is how the per-gate parameter samples are
+generated — full ``N_g``-dimensional Cholesky sampling versus the
+r-dimensional KLE reconstruction.  Reported quantities per circuit:
+
+- ``e_mu``   — % mismatch of the worst-delay mean,
+- ``e_sigma`` — % mismatch of the worst-delay standard deviation,
+- ``speedup`` — reference wall-clock / KLE wall-clock (sample generation
+  plus timing), the paper's final column.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.core.kernels import CovarianceKernel
+from repro.core.kle import KLEResult
+from repro.field.sampling import (
+    CholeskySampleGenerator,
+    KLESampleGenerator,
+)
+from repro.place.placer import Placement
+from repro.timing.library import STATISTICAL_PARAMETERS, CellLibrary
+from repro.timing.sta import STAEngine, STAResult
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class SSTARun:
+    """One MC-SSTA execution: timing result plus cost accounting."""
+
+    sta: STAResult
+    sample_seconds: float
+    timer_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.sample_seconds + self.timer_seconds
+
+
+@dataclass(frozen=True)
+class SSTAComparison:
+    """A Table 1 row: reference vs kernel-based MC-SSTA on one circuit.
+
+    ``e_mu_percent`` / ``e_sigma_percent`` are mismatches as a percentage of
+    the reference estimate (the paper's ``e_μ``, ``e_σ``); ``speedup`` is
+    reference-time / KLE-time.  ``sigma_error_outputs_percent`` is the
+    per-end-point σ_d error averaged over all outputs — the Fig. 6 metric.
+    """
+
+    circuit: str
+    num_gates: int
+    num_samples: int
+    r: int
+    reference_mean: float
+    reference_std: float
+    kle_mean: float
+    kle_std: float
+    e_mu_percent: float
+    e_sigma_percent: float
+    reference_seconds: float
+    kle_seconds: float
+    speedup: float
+    sigma_error_outputs_percent: float
+
+
+def _normalize_kernels(
+    kernels: Union[CovarianceKernel, Mapping[str, CovarianceKernel]],
+) -> Dict[str, CovarianceKernel]:
+    """Accept one shared kernel or a per-parameter mapping."""
+    if isinstance(kernels, CovarianceKernel):
+        return {name: kernels for name in STATISTICAL_PARAMETERS}
+    kernels = dict(kernels)
+    unknown = set(kernels) - set(STATISTICAL_PARAMETERS)
+    if unknown:
+        raise ValueError(f"unknown statistical parameters: {sorted(unknown)}")
+    if not kernels:
+        raise ValueError("need at least one parameter kernel")
+    return kernels
+
+
+def _normalize_kles(
+    kles: Union[KLEResult, Mapping[str, KLEResult]],
+    parameter_names,
+) -> Dict[str, KLEResult]:
+    if isinstance(kles, KLEResult):
+        return {name: kles for name in parameter_names}
+    kles = dict(kles)
+    missing = set(parameter_names) - set(kles)
+    if missing:
+        raise ValueError(f"missing KLE for parameters: {sorted(missing)}")
+    return kles
+
+
+class MonteCarloSSTA:
+    """The paper's experimental harness on one placed circuit.
+
+    Parameters
+    ----------
+    netlist / placement:
+        The circuit under analysis (gate locations drive the correlation).
+    kernels:
+        Covariance kernel(s) of the statistical parameters: a single kernel
+        shared by all four (the paper's setup) or a per-parameter mapping.
+    kle:
+        Solved :class:`KLEResult` (or per-parameter mapping) matching the
+        kernels; used by the Algorithm 2 flow.
+    r:
+        KLE truncation order; ``None`` applies the 1 % criterion.
+    library:
+        Cell library (default 90nm-class).
+    wire_sigma:
+        Optional interconnect-variation extension: a mapping with keys
+        ``"R"`` and/or ``"C"`` giving the fractional one-sigma variation
+        of each net's metal resistance / capacitance (e.g.
+        ``{"R": 0.10, "C": 0.08}``).  Wire variation fields share the gate
+        parameters' spatial kernel and flow through *both* algorithms
+        (Cholesky at net-driver locations for the reference, the same KLE
+        for Algorithm 2), so the comparison stays apples-to-apples.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        placement: Placement,
+        kernels: Union[CovarianceKernel, Mapping[str, CovarianceKernel]],
+        kle: Union[KLEResult, Mapping[str, KLEResult]],
+        *,
+        r: Optional[int] = None,
+        library: Optional[CellLibrary] = None,
+        wire_sigma: Optional[Mapping[str, float]] = None,
+    ):
+        self.netlist = netlist
+        self.placement = placement
+        self.kernels = _normalize_kernels(kernels)
+        self.kles = _normalize_kles(kle, self.kernels.keys())
+        self.engine = STAEngine(netlist, placement, library)
+        self.gate_locations = placement.gate_locations()
+        self.reference_generator = CholeskySampleGenerator(self.kernels)
+        self.kle_generator = KLESampleGenerator(self.kles, r=r)
+        self.wire_sigma = dict(wire_sigma) if wire_sigma else None
+        if self.wire_sigma:
+            unknown = set(self.wire_sigma) - {"R", "C"}
+            if unknown:
+                raise ValueError(
+                    f"wire_sigma keys must be 'R'/'C', got {sorted(unknown)}"
+                )
+            if any(s <= 0.0 or s >= 1.0 for s in self.wire_sigma.values()):
+                raise ValueError("wire_sigma values must lie in (0, 1)")
+            self._net_locations = self.engine.net_driver_locations()
+            shared_kernel = next(iter(self.kernels.values()))
+            shared_kle = next(iter(self.kles.values()))
+            self._wire_reference_generator = CholeskySampleGenerator(
+                {key: shared_kernel for key in self.wire_sigma}
+            )
+            self._wire_kle_generator = KLESampleGenerator(
+                {key: shared_kle for key in self.wire_sigma},
+                r=max(self.kle_generator.r.values()),
+            )
+
+    def _wire_scales_from(self, generator, num_samples, seed):
+        """Draw normalized wire fields and convert to positive scales."""
+        generated = generator.generate(
+            self._net_locations, num_samples, seed=seed
+        )
+        scales = {}
+        for key, sigma in self.wire_sigma.items():
+            scales[key] = np.clip(
+                1.0 + sigma * generated.samples[key], 0.05, None
+            )
+        return scales, generated.total_seconds
+
+    @property
+    def r(self) -> int:
+        """The truncation order actually used (max across parameters)."""
+        return max(self.kle_generator.r.values())
+
+    # ------------------------------------------------------------------
+    # The two flows.
+    # ------------------------------------------------------------------
+    def run_reference(
+        self, num_samples: int, *, seed: SeedLike = None
+    ) -> SSTARun:
+        """Algorithm 1 + STA: the exact, full-dimensional reference."""
+        generated = self.reference_generator.generate(
+            self.gate_locations, num_samples, seed=seed
+        )
+        sample_seconds = generated.total_seconds
+        wire_scales = None
+        if self.wire_sigma:
+            wire_scales, wire_seconds = self._wire_scales_from(
+                self._wire_reference_generator, num_samples,
+                _shift_seed(_shift_seed(seed)),
+            )
+            sample_seconds += wire_seconds
+        start = time.perf_counter()
+        sta = self.engine.run(generated.samples, wire_scales=wire_scales)
+        timer_seconds = time.perf_counter() - start
+        return SSTARun(sta, sample_seconds, timer_seconds)
+
+    def run_kle(self, num_samples: int, *, seed: SeedLike = None) -> SSTARun:
+        """Algorithm 2 + STA: the reduced-dimensionality kernel flow."""
+        generated = self.kle_generator.generate(
+            self.gate_locations, num_samples, seed=seed
+        )
+        sample_seconds = generated.total_seconds
+        wire_scales = None
+        if self.wire_sigma:
+            wire_scales, wire_seconds = self._wire_scales_from(
+                self._wire_kle_generator, num_samples,
+                _shift_seed(_shift_seed(seed)),
+            )
+            sample_seconds += wire_seconds
+        start = time.perf_counter()
+        sta = self.engine.run(generated.samples, wire_scales=wire_scales)
+        timer_seconds = time.perf_counter() - start
+        return SSTARun(sta, sample_seconds, timer_seconds)
+
+    # ------------------------------------------------------------------
+    # The Table 1 comparison.
+    # ------------------------------------------------------------------
+    def compare(
+        self,
+        num_samples: int,
+        *,
+        seed: SeedLike = 0,
+        circuit_name: Optional[str] = None,
+    ) -> SSTAComparison:
+        """Run both flows and produce one Table 1 row.
+
+        The flows use *independent* random streams (as in the paper, where
+        both are separate 100K-sample MC runs); mismatches therefore
+        include MC noise of order ``1/sqrt(N)``.
+        """
+        reference = self.run_reference(num_samples, seed=seed)
+        kle = self.run_kle(num_samples, seed=_shift_seed(seed))
+
+        ref_mean = reference.sta.mean_worst_delay()
+        ref_std = reference.sta.std_worst_delay()
+        kle_mean = kle.sta.mean_worst_delay()
+        kle_std = kle.sta.std_worst_delay()
+        e_mu = 100.0 * abs(kle_mean - ref_mean) / abs(ref_mean)
+        e_sigma = 100.0 * abs(kle_std - ref_std) / abs(ref_std)
+
+        sigma_err = sigma_error_over_outputs(reference.sta, kle.sta)
+
+        return SSTAComparison(
+            circuit=circuit_name or self.netlist.name,
+            num_gates=self.netlist.num_gates,
+            num_samples=num_samples,
+            r=self.r,
+            reference_mean=ref_mean,
+            reference_std=ref_std,
+            kle_mean=kle_mean,
+            kle_std=kle_std,
+            e_mu_percent=e_mu,
+            e_sigma_percent=e_sigma,
+            reference_seconds=reference.total_seconds,
+            kle_seconds=kle.total_seconds,
+            speedup=reference.total_seconds / max(kle.total_seconds, 1e-12),
+            sigma_error_outputs_percent=sigma_err,
+        )
+
+
+def sigma_error_over_outputs(
+    reference: STAResult, candidate: STAResult
+) -> float:
+    """Mean relative σ_d error over all circuit end points, in percent.
+
+    This is the Fig. 6 y-axis: "error ... averaged across all the outputs
+    of the circuit".  End points whose reference σ is (numerically) zero
+    are skipped.
+    """
+    ref_sigma = reference.output_sigma()
+    cand_sigma = candidate.output_sigma()
+    errors = []
+    for net, sigma in ref_sigma.items():
+        if net not in cand_sigma or sigma <= 1e-12:
+            continue
+        errors.append(abs(cand_sigma[net] - sigma) / sigma)
+    if not errors:
+        return 0.0
+    return 100.0 * float(np.mean(errors))
+
+
+def _shift_seed(seed: SeedLike) -> SeedLike:
+    """Derive an independent stream for the second flow."""
+    if seed is None or isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return seed.spawn(1)[0]
+    return int(seed) + 0x9E3779B9

@@ -1,0 +1,427 @@
+"""Gate-level static timing engine, vectorized over Monte-Carlo samples.
+
+This is the "core timer inside the Monte Carlo loops" of the paper's §5.1:
+
+- Elmore delay for wire delay [19],
+- PERI slew propagation with the Bakoglu metric [20][21],
+- rank-one quadratic gate delay/slew models in (L, W, Vt, tox) [22],
+- worst-slew-of-worst-path propagation through topological order.
+
+Vectorization: all ``N`` Monte-Carlo samples are timed simultaneously —
+every net's arrival time and slew is an ``(N,)`` array and gate evaluation
+is numpy arithmetic on those arrays.  One engine pass therefore replaces N
+scalar STA runs; both Algorithm 1 and Algorithm 2 feed the same engine, so
+their comparison isolates the sample-generation difference exactly as the
+paper intends.
+
+Memory: net arrays are released as soon as their last sink gate has
+consumed them, so peak memory scales with the circuit's level width rather
+than its size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.circuit.levelize import levelize
+from repro.circuit.netlist import Netlist
+from repro.place.placer import Placement
+from repro.timing.library import (
+    STATISTICAL_PARAMETERS,
+    CellLibrary,
+    GateTimingModel,
+)
+from repro.timing.wire import WireModel, peri_slew, star_wire_model
+
+_PO_PAD_CAP_FF = 2.0  # output pad / downstream-stage load on primary outputs
+
+
+@dataclass(frozen=True)
+class STAResult:
+    """Outcome of one (vectorized) timing run.
+
+    Attributes
+    ----------
+    end_arrivals:
+        Timing end net → ``(N,)`` arrival-time array (ps).
+    worst_delay:
+        ``(N,)`` worst arrival over all end points per sample — the
+        circuit-delay distribution the paper's Table 1 statistics summarize.
+    num_samples: N.
+    """
+
+    end_arrivals: Dict[str, np.ndarray]
+    worst_delay: np.ndarray
+    num_samples: int
+
+    def mean_worst_delay(self) -> float:
+        """Sample mean of the worst delay over the MC samples (ps)."""
+        return float(np.mean(self.worst_delay))
+
+    def std_worst_delay(self) -> float:
+        """Sample standard deviation of the worst delay (ps)."""
+        return float(np.std(self.worst_delay))
+
+    def output_sigma(self) -> Dict[str, float]:
+        """Per-end-point delay standard deviation (σ_d of Fig. 6)."""
+        return {
+            net: float(np.std(values))
+            for net, values in self.end_arrivals.items()
+        }
+
+    def output_mean(self) -> Dict[str, float]:
+        """Per-end-point mean arrival time (ps)."""
+        return {
+            net: float(np.mean(values))
+            for net, values in self.end_arrivals.items()
+        }
+
+
+class STAEngine:
+    """Precompiled timing view of a placed netlist.
+
+    Construction precomputes everything deterministic — topological order,
+    per-gate timing models, per-net wire models and per-pin wire delays —
+    so that :meth:`run` only does the per-sample arithmetic.
+
+    Parameters
+    ----------
+    netlist / placement:
+        The circuit and its placement (wire loads come from net HPWL).
+    library:
+        Cell library; a default 90nm-class library when omitted.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        placement: Placement,
+        library: Optional[CellLibrary] = None,
+    ):
+        if placement.netlist is not netlist:
+            raise ValueError("placement does not belong to this netlist")
+        self.netlist = netlist
+        self.placement = placement
+        self.library = library or CellLibrary()
+        self.levelized = levelize(netlist)
+        self._gate_index: Dict[str, int] = {
+            gate.name: i for i, gate in enumerate(netlist.gates)
+        }
+        self._models: Dict[str, GateTimingModel] = {}
+        for gate in netlist.gates:
+            self._models[gate.name] = self.library.model_for(
+                gate.gate_type, gate.num_inputs
+            )
+        self._wires: Dict[str, WireModel] = {}
+        # (net, sink gate name, pin) -> index into the wire model's arrays.
+        self._sink_slot: Dict[Tuple[str, str, int], int] = {}
+        self._build_wire_models()
+        # How many gate pins read each net (for memory reclamation).
+        self._pin_counts: Dict[str, int] = {
+            net: len(netlist.sinks_of(net)) for net in netlist.nets
+        }
+
+    def _build_wire_models(self) -> None:
+        technology = self.library.technology
+        for net in self.netlist.nets:
+            driver_pos = self.placement.position_of_net_driver(net)
+            sink_positions: List[Tuple[float, float]] = []
+            sink_caps: List[float] = []
+            for slot, (gate, pin) in enumerate(self.netlist.sinks_of(net)):
+                sink_positions.append(self.placement.gate_positions[gate.name])
+                sink_caps.append(self._models[gate.name].input_cap_ff)
+                self._sink_slot[(net, gate.name, pin)] = slot
+            if net in self.netlist.primary_outputs:
+                pad = self.placement.pad_positions.get(net)
+                if pad is not None:
+                    sink_positions.append(pad)
+                    sink_caps.append(_PO_PAD_CAP_FF)
+            self._wires[net] = star_wire_model(
+                driver_pos, sink_positions, sink_caps, technology
+            )
+
+    # ------------------------------------------------------------------
+    # The timing run.
+    # ------------------------------------------------------------------
+    def net_order(self) -> List[str]:
+        """Deterministic net ordering used by the wire-variation extension.
+
+        Columns of ``wire_scales`` arrays follow this order.
+        """
+        return list(self.netlist.nets)
+
+    def net_driver_locations(self) -> np.ndarray:
+        """``(num_nets, 2)`` driver locations in :meth:`net_order` order.
+
+        Feed these to a sample generator to build spatially correlated
+        wire R/C scale fields (each net's metal is attributed to its
+        driver's location).
+        """
+        return np.array(
+            [
+                self.placement.position_of_net_driver(net)
+                for net in self.net_order()
+            ],
+            dtype=float,
+        )
+
+    def run(
+        self,
+        parameter_samples: Optional[Mapping[str, np.ndarray]] = None,
+        *,
+        wire_scales: Optional[Mapping[str, np.ndarray]] = None,
+        input_slew_ps: Optional[float] = None,
+        keep_all_arrivals: bool = False,
+    ) -> STAResult:
+        """Time the circuit for all samples at once.
+
+        Parameters
+        ----------
+        parameter_samples:
+            Mapping from parameter name (a subset of ``("L","W","Vt","tox")``)
+            to an ``(N, N_g)`` array of normalized values, columns in
+            ``netlist.gates`` order — exactly the matrices produced by
+            :mod:`repro.field.sampling`.  ``None`` runs a nominal
+            (deterministic, N = 1) analysis.
+        wire_scales:
+            Optional interconnect-variation extension: mapping with keys
+            ``"R"`` and/or ``"C"`` to ``(N, num_nets)`` *multiplicative
+            scale factors* (nominal = 1.0) on each net's metal resistance
+            and capacitance, columns in :meth:`net_order` order.  Wire
+            Elmore delays, slew steps, and the metal share of gate loads
+            scale accordingly; device pin caps do not.  The paper varies
+            only gate parameters — this extension exploits the method's
+            parameter-agnosticism ("no restriction imposed by our
+            technique").
+        input_slew_ps:
+            Slew applied at primary inputs (default: technology value).
+        keep_all_arrivals:
+            Keep every net's arrival array (disables memory reclamation);
+            the result's ``end_arrivals`` then contains all nets.
+        """
+        num_samples, u_by_gate = self._statistical_projection(parameter_samples)
+        wire_scales, num_samples = self._validate_wire_scales(
+            wire_scales, num_samples
+        )
+        if input_slew_ps is None:
+            input_slew_ps = self.library.technology.default_input_slew_ps
+
+        net_col = (
+            {net: i for i, net in enumerate(self.net_order())}
+            if wire_scales
+            else None
+        )
+        r_scales = wire_scales.get("R") if wire_scales else None
+        c_scales = wire_scales.get("C") if wire_scales else None
+
+        def net_load(net: str):
+            wire = self._wires[net]
+            if c_scales is None:
+                return wire.total_cap_ff
+            return wire.pin_cap_ff + c_scales[:, net_col[net]] * wire.wire_cap_ff
+
+        def pin_wire_delay(net: str, slot: int):
+            wire = self._wires[net]
+            if net_col is None:
+                return wire.sink_delay_ps[slot]
+            rc_half, r_pin = wire.sink_res_cap_split[slot]
+            r = 1.0 if r_scales is None else r_scales[:, net_col[net]]
+            c = 1.0 if c_scales is None else c_scales[:, net_col[net]]
+            return r * c * rc_half + r * r_pin
+
+        arrival: Dict[str, np.ndarray] = {}
+        slew: Dict[str, np.ndarray] = {}
+        pins_left = dict(self._pin_counts)
+        end_nets = set(self.levelized.end_nets)
+
+        zero = np.zeros(num_samples)
+        for net in self.netlist.primary_inputs:
+            arrival[net] = zero.copy()
+            slew[net] = np.full(num_samples, float(input_slew_ps))
+        for dff in self.netlist.sequential_gates():
+            model = self._models[dff.name]
+            load = net_load(dff.output)
+            u = u_by_gate(self._gate_index[dff.name])
+            arrival[dff.output] = model.nominal_delay(0.0, load) * (
+                model.statistical_scale(u)
+            )
+            slew[dff.output] = model.nominal_slew(0.0, load) * (
+                model.statistical_slew_scale(u)
+            )
+
+        for gate in self.levelized.gates_in_order:
+            model = self._models[gate.name]
+            load = net_load(gate.output)
+            u = u_by_gate(self._gate_index[gate.name])
+            delay_scale = model.statistical_scale(u)
+            slew_scale = model.statistical_slew_scale(u)
+
+            best_arrival: Optional[np.ndarray] = None
+            best_slew: Optional[np.ndarray] = None
+            for pin, net in enumerate(gate.inputs):
+                slot = self._sink_slot[(net, gate.name, pin)]
+                wire_delay = pin_wire_delay(net, slot)
+                pin_arrival = arrival[net] + wire_delay
+                pin_slew = peri_slew(slew[net], wire_delay)
+                gate_delay = (
+                    model.nominal_delay(pin_slew, load) * delay_scale
+                )
+                gate_slew = (
+                    model.nominal_slew(pin_slew, load) * slew_scale
+                )
+                candidate = pin_arrival + gate_delay
+                if best_arrival is None:
+                    best_arrival = candidate
+                    best_slew = gate_slew
+                else:
+                    take = candidate > best_arrival
+                    best_arrival = np.where(take, candidate, best_arrival)
+                    best_slew = np.where(take, gate_slew, best_slew)
+                if not keep_all_arrivals:
+                    pins_left[net] -= 1
+                    if pins_left[net] == 0 and net not in end_nets:
+                        arrival.pop(net, None)
+                        slew.pop(net, None)
+            assert best_arrival is not None and best_slew is not None
+            arrival[gate.output] = best_arrival
+            slew[gate.output] = best_slew
+
+        if keep_all_arrivals:
+            end_arrivals = dict(arrival)
+        else:
+            end_arrivals = {
+                net: arrival[net] for net in end_nets if net in arrival
+            }
+        worst = np.full(num_samples, -np.inf)
+        for net in self.levelized.end_nets:
+            if net in end_arrivals:
+                worst = np.maximum(worst, end_arrivals[net])
+        return STAResult(
+            end_arrivals=end_arrivals,
+            worst_delay=worst,
+            num_samples=num_samples,
+        )
+
+    def _statistical_projection(
+        self,
+        parameter_samples: Optional[Mapping[str, np.ndarray]],
+    ):
+        """Return ``(N, u_by_gate)`` where ``u_by_gate(g)`` is the rank-one
+        projection ``u = wᵀ p`` for gate ``g`` over all samples."""
+        num_gates = self.netlist.num_gates
+        if not parameter_samples:
+            return 1, lambda gate_index: np.zeros(1)
+
+        names: List[str] = []
+        matrices: List[np.ndarray] = []
+        for name, matrix in parameter_samples.items():
+            if name not in STATISTICAL_PARAMETERS:
+                raise ValueError(
+                    f"unknown statistical parameter {name!r}; expected a "
+                    f"subset of {STATISTICAL_PARAMETERS}"
+                )
+            matrix = np.asarray(matrix, dtype=float)
+            if matrix.ndim != 2 or matrix.shape[1] != num_gates:
+                raise ValueError(
+                    f"samples for {name!r} must be (N, {num_gates}), "
+                    f"got {matrix.shape}"
+                )
+            names.append(name)
+            matrices.append(matrix)
+        lengths = {m.shape[0] for m in matrices}
+        if len(lengths) != 1:
+            raise ValueError("all parameter sample matrices must share N")
+        num_samples = lengths.pop()
+        param_pos = {
+            name: STATISTICAL_PARAMETERS.index(name) for name in names
+        }
+        models = self._models
+        gates = self.netlist.gates
+
+        # Fast path: precompute U = Σ_j w_j(gate) · p_j as one (N, Ng)
+        # array so the hot loop only gathers columns.  Falls back to lazy
+        # per-gate evaluation when the array would be too large.
+        if num_samples * num_gates * 8 <= 512 * 1024 * 1024:
+            weight_rows = {
+                name: np.array(
+                    [
+                        models[g.name].direction[param_pos[name]]
+                        for g in gates
+                    ]
+                )
+                for name in names
+            }
+            u_matrix = np.zeros((num_samples, num_gates))
+            for name, matrix in zip(names, matrices):
+                u_matrix += matrix * weight_rows[name][None, :]
+
+            def u_by_gate(gate_index: int) -> np.ndarray:
+                return u_matrix[:, gate_index]
+
+            return num_samples, u_by_gate
+
+        def u_by_gate(gate_index: int) -> np.ndarray:
+            direction = models[gates[gate_index].name].direction
+            u = np.zeros(num_samples)
+            for name, matrix in zip(names, matrices):
+                u += direction[param_pos[name]] * matrix[:, gate_index]
+            return u
+
+        return num_samples, u_by_gate
+
+    def _validate_wire_scales(
+        self,
+        wire_scales: Optional[Mapping[str, np.ndarray]],
+        num_samples: int,
+    ):
+        """Check wire-scale shapes/keys; reconcile the sample count."""
+        if not wire_scales:
+            return None, num_samples
+        num_nets = len(self.netlist.nets)
+        validated: Dict[str, np.ndarray] = {}
+        for key, matrix in wire_scales.items():
+            if key not in ("R", "C"):
+                raise ValueError(
+                    f"wire_scales keys must be 'R' or 'C', got {key!r}"
+                )
+            matrix = np.asarray(matrix, dtype=float)
+            if matrix.ndim != 2 or matrix.shape[1] != num_nets:
+                raise ValueError(
+                    f"wire_scales[{key!r}] must be (N, {num_nets}), "
+                    f"got {matrix.shape}"
+                )
+            if np.any(matrix <= 0.0):
+                raise ValueError(
+                    f"wire_scales[{key!r}] must be strictly positive "
+                    "multiplicative factors (nominal = 1.0)"
+                )
+            validated[key] = matrix
+        wire_n = {m.shape[0] for m in validated.values()}
+        if len(wire_n) != 1:
+            raise ValueError("all wire_scales matrices must share N")
+        wire_num = wire_n.pop()
+        if num_samples == 1:
+            return validated, wire_num
+        if wire_num != num_samples:
+            raise ValueError(
+                f"wire_scales N ({wire_num}) must match parameter sample "
+                f"N ({num_samples})"
+            )
+        return validated, num_samples
+
+    # ------------------------------------------------------------------
+    # Convenience.
+    # ------------------------------------------------------------------
+    def nominal(self) -> STAResult:
+        """Deterministic corner run (all parameters at nominal)."""
+        return self.run(None)
+
+    def critical_end_net(self) -> str:
+        """The end point with the worst nominal arrival."""
+        result = self.nominal()
+        return max(
+            result.end_arrivals, key=lambda net: float(result.end_arrivals[net][0])
+        )

@@ -1,0 +1,18 @@
+"""Shared utilities: reproducible RNG handling and linear-algebra helpers."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.linalg import (
+    cholesky_with_jitter,
+    is_positive_semidefinite,
+    nearest_psd,
+    symmetric_generalized_eigh,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "cholesky_with_jitter",
+    "is_positive_semidefinite",
+    "nearest_psd",
+    "symmetric_generalized_eigh",
+]

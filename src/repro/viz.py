@@ -1,0 +1,174 @@
+"""Terminal visualization: Unicode heatmaps and decay plots.
+
+The environments this library targets (servers, CI) rarely have plotting
+stacks, so the exhibit CLI renders its figures as text: density-shaded
+heatmaps for fields/eigenfunctions (Figs. 1 and 4) and log-scale bar
+decays for eigenvalue spectra (Fig. 5).  Pure functions from arrays to
+strings — no terminal control codes, safe to pipe to files.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["heatmap", "decay_plot", "correlation_profile"]
+
+# Darkness ramp for heatmaps (space = lowest).
+_SHADES = " .:-=+*#%@"
+
+
+def heatmap(
+    values: np.ndarray,
+    *,
+    width: int = 48,
+    symmetric: Optional[bool] = None,
+    legend: bool = True,
+) -> str:
+    """Render a 2-D array as a character heatmap.
+
+    Parameters
+    ----------
+    values:
+        ``(rows, cols)`` array; row 0 is drawn at the *bottom* (math
+        orientation, matching die coordinates).
+    width:
+        Target character width; the array is subsampled to fit.  Each cell
+        is drawn twice horizontally so aspect ratio is roughly square.
+    symmetric:
+        Center the color scale at zero (for fields/eigenfunctions).
+        Default: automatic — on when the array has both signs.
+    legend:
+        Append a min/max legend line.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(f"values must be 2-D, got shape {values.shape}")
+    rows, cols = values.shape
+    max_cells = max(4, width // 2)
+    step_r = max(1, int(np.ceil(rows / max_cells)))
+    step_c = max(1, int(np.ceil(cols / max_cells)))
+    sub = values[::step_r, ::step_c]
+
+    finite = sub[np.isfinite(sub)]
+    if finite.size == 0:
+        raise ValueError("values contain no finite entries")
+    lo, hi = float(finite.min()), float(finite.max())
+    if symmetric is None:
+        symmetric = lo < 0.0 < hi
+    if symmetric:
+        bound = max(abs(lo), abs(hi), 1e-300)
+        lo, hi = -bound, bound
+    if hi - lo < 1e-300:
+        hi = lo + 1.0
+
+    lines = []
+    for row in sub[::-1]:  # bottom row last in array -> printed last
+        chars = []
+        for value in row:
+            if not np.isfinite(value):
+                chars.append("??")
+                continue
+            level = (value - lo) / (hi - lo)
+            index = min(int(level * len(_SHADES)), len(_SHADES) - 1)
+            chars.append(_SHADES[index] * 2)
+        lines.append("".join(chars))
+    if legend:
+        lines.append(
+            f"[{_SHADES[0]!r}={lo:.3g} .. {_SHADES[-1]!r}={hi:.3g}]"
+        )
+    return "\n".join(lines)
+
+
+def decay_plot(
+    values: Sequence[float],
+    *,
+    height: int = 10,
+    max_points: int = 60,
+    log_scale: bool = True,
+    marker: Optional[int] = None,
+) -> str:
+    """Render a decreasing sequence (eigenvalue spectrum) as bars.
+
+    ``marker`` draws a column separator after that many entries — used to
+    show the selected truncation order r in the Fig. 5 rendering.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.ndim != 1 or data.size == 0:
+        raise ValueError("values must be a non-empty 1-D sequence")
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    data = data[:max_points]
+    positive = np.clip(data, 1e-300, None)
+    if log_scale:
+        levels = np.log10(positive)
+    else:
+        levels = positive
+    lo, hi = float(levels.min()), float(levels.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    normalized = (levels - lo) / (hi - lo)
+    bar_heights = np.round(normalized * (height - 1)).astype(int) + 1
+
+    columns = []
+    for index, bar in enumerate(bar_heights):
+        column = [" "] * (height - bar) + ["#"] * bar
+        columns.append(column)
+        if marker is not None and index + 1 == marker:
+            columns.append(["|"] * height)
+    lines = [
+        "".join(col[row] for col in columns) for row in range(height)
+    ]
+    axis = "log10" if log_scale else "linear"
+    lines.append("-" * len(columns))
+    lines.append(
+        f"{axis} scale: top={hi:.3g} bottom={lo:.3g}; "
+        f"{len(data)} values" + (f", | marks r={marker}" if marker else "")
+    )
+    return "\n".join(lines)
+
+
+def correlation_profile(
+    distances: np.ndarray,
+    empirical: np.ndarray,
+    model: Optional[np.ndarray] = None,
+    *,
+    width: int = 56,
+    height: int = 12,
+) -> str:
+    """Scatter-style plot of correlation vs distance ('o' data, '.' model).
+
+    Used to eyeball kernel fits / extractions in the terminal.
+    """
+    distances = np.asarray(distances, dtype=float)
+    empirical = np.asarray(empirical, dtype=float)
+    if distances.shape != empirical.shape:
+        raise ValueError("distances and empirical must share shape")
+    grid = [[" "] * width for _ in range(height)]
+    d_max = float(distances.max()) if distances.size else 1.0
+    lo = min(0.0, float(np.nanmin(empirical)))
+    hi = max(1.0, float(np.nanmax(empirical)))
+
+    def place(d, value, char):
+        if not np.isfinite(value):
+            return
+        col = min(int(d / max(d_max, 1e-300) * (width - 1)), width - 1)
+        level = (value - lo) / (hi - lo)
+        row = height - 1 - min(int(level * (height - 1)), height - 1)
+        if grid[row][col] == " " or char == "o":
+            grid[row][col] = char
+
+    if model is not None:
+        model = np.asarray(model, dtype=float)
+        for d, value in zip(distances, model):
+            place(d, value, ".")
+    for d, value in zip(distances, empirical):
+        place(d, value, "o")
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(
+        f"x: 0..{d_max:.3g} (distance)  y: {lo:.2g}..{hi:.2g} "
+        "(correlation; o=data, .=model)"
+    )
+    return "\n".join(lines)

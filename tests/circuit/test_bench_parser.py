@@ -1,0 +1,108 @@
+"""Tests for the ISCAS .bench parser/writer."""
+
+import pytest
+
+from repro.circuit.bench_parser import (
+    BenchParseError,
+    parse_bench,
+    read_bench,
+    save_bench,
+    write_bench,
+)
+from repro.circuit.benchmarks import C17_BENCH
+
+
+def test_parse_c17():
+    netlist = parse_bench(C17_BENCH, name="c17")
+    assert netlist.num_gates == 6
+    assert netlist.primary_inputs == ["1", "2", "3", "6", "7"]
+    assert netlist.primary_outputs == ["22", "23"]
+    assert all(g.gate_type == "NAND" for g in netlist.gates)
+
+
+def test_parse_case_insensitive_keywords():
+    text = "input(a)\noutput(y)\ny = nand(a, a2)\ninput(a2)\n"
+    netlist = parse_bench(text)
+    assert netlist.num_gates == 1
+    assert netlist.gates[0].gate_type == "NAND"
+
+
+def test_parse_aliases():
+    text = (
+        "INPUT(a)\nOUTPUT(y)\n"
+        "n1 = INV(a)\n"
+        "n2 = BUF(n1)\n"
+        "y = NOT(n2)\n"
+    )
+    netlist = parse_bench(text)
+    assert netlist.gate("n1").gate_type == "NOT"
+    assert netlist.gate("n2").gate_type == "BUFF"
+
+
+def test_parse_dff():
+    text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"
+    netlist = parse_bench(text)
+    assert netlist.is_sequential
+    assert netlist.gates[0].gate_type == "DFF"
+
+
+def test_parse_whitespace_and_comments():
+    text = (
+        "# full line comment\n"
+        "  INPUT( a )\n"
+        "\n"
+        "OUTPUT(y)\n"
+        "y = AND(a, b) # trailing comment\n"
+        "INPUT(b)\n"
+    )
+    netlist = parse_bench(text)
+    assert netlist.num_gates == 1
+    assert netlist.gates[0].inputs == ("a", "b")
+
+
+def test_parse_wide_gate():
+    text = (
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n"
+        "y = NAND(a, b, c, d)\n"
+    )
+    netlist = parse_bench(text)
+    assert netlist.gates[0].num_inputs == 4
+
+
+def test_parse_errors():
+    with pytest.raises(BenchParseError, match="line 1"):
+        parse_bench("garbage line\n")
+    with pytest.raises(BenchParseError, match="unknown gate type"):
+        parse_bench("INPUT(a)\ny = LATCH(a)\n")
+    with pytest.raises(BenchParseError, match="no inputs"):
+        parse_bench("y = NAND()\n")
+    with pytest.raises(BenchParseError, match="undriven"):
+        parse_bench("OUTPUT(y)\ny = NOT(ghost)\n")
+
+
+def test_roundtrip_c17():
+    original = parse_bench(C17_BENCH, name="c17")
+    again = parse_bench(write_bench(original), name="c17")
+    assert again.primary_inputs == original.primary_inputs
+    assert again.primary_outputs == original.primary_outputs
+    assert len(again.gates) == len(original.gates)
+    for a, b in zip(again.gates, original.gates):
+        assert (a.name, a.gate_type, a.inputs) == (b.name, b.gate_type, b.inputs)
+
+
+def test_roundtrip_generated_circuit():
+    from repro.circuit.generate import generate_circuit
+
+    netlist = generate_circuit("rt", 80, 8, 4, num_dffs=6, seed=1)
+    again = parse_bench(write_bench(netlist), name="rt")
+    assert again.num_gates == 80
+    assert len(again.sequential_gates()) == 6
+
+
+def test_file_roundtrip(tmp_path):
+    netlist = parse_bench(C17_BENCH, name="c17")
+    path = str(tmp_path / "c17.bench")
+    save_bench(netlist, path)
+    loaded = read_bench(path)
+    assert loaded.name == "c17"
+    assert loaded.num_gates == 6

@@ -1,0 +1,89 @@
+"""Tests for the Table 1 benchmark registry."""
+
+import pytest
+
+from repro.circuit.benchmarks import (
+    TABLE1_SPECS,
+    benchmark_names,
+    get_spec,
+    load_circuit,
+)
+
+# The paper's Table 1 N_g column, verbatim.
+PAPER_GATE_COUNTS = {
+    "c880": 383,
+    "c1355": 546,
+    "c1908": 880,
+    "c3540": 1669,
+    "c5315": 2307,
+    "c6288": 2416,
+    "s5378": 2779,
+    "c7552": 3512,
+    "s9234": 5597,
+    "s13207": 7951,
+    "s15850": 9772,
+    "s35932": 16065,
+    "s38584": 19253,
+    "s38417": 22179,
+}
+
+
+def test_registry_covers_table1():
+    assert benchmark_names() == list(PAPER_GATE_COUNTS)
+
+
+def test_specs_match_paper_counts():
+    for spec in TABLE1_SPECS:
+        assert spec.num_gates == PAPER_GATE_COUNTS[spec.name]
+
+
+def test_s_series_sequential_c_series_not():
+    for spec in TABLE1_SPECS:
+        assert spec.is_sequential == spec.name.startswith("s")
+
+
+@pytest.mark.parametrize("name", ["c880", "c1355", "s5378"])
+def test_loaded_circuits_match_spec(name):
+    spec = get_spec(name)
+    netlist = load_circuit(name)
+    assert netlist.num_gates == spec.num_gates
+    assert len(netlist.primary_inputs) == spec.num_inputs
+    assert len(netlist.primary_outputs) == spec.num_outputs
+    assert len(netlist.sequential_gates()) == spec.num_dffs
+
+
+def test_load_is_deterministic():
+    a = load_circuit("c880")
+    b = load_circuit("c880")
+    assert [(g.name, g.inputs) for g in a.gates] == [
+        (g.name, g.inputs) for g in b.gates
+    ]
+
+
+def test_c17_is_genuine():
+    c17 = load_circuit("c17")
+    assert c17.num_gates == 6
+    assert c17.gate_type_histogram() == {"NAND": 6}
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        get_spec("c9999")
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        load_circuit("c9999")
+
+
+def test_distinct_circuits_have_distinct_structure():
+    a = load_circuit("c880")
+    b = load_circuit("c1355")
+    assert a.num_gates != b.num_gates
+
+
+def test_export_benchmarks(tmp_path):
+    from repro.circuit.benchmarks import export_benchmarks
+    from repro.circuit.bench_parser import read_bench
+
+    paths = export_benchmarks(str(tmp_path), names=["c17", "c880"])
+    assert len(paths) == 2
+    reloaded = read_bench(paths[1])
+    assert reloaded.num_gates == 383

@@ -1,0 +1,107 @@
+"""Tests for the synthetic ISCAS-class circuit generator."""
+
+import pytest
+
+from repro.circuit.generate import default_depth, generate_circuit
+from repro.circuit.levelize import levelize
+
+
+def test_exact_gate_count():
+    for count in (10, 137, 1000):
+        netlist = generate_circuit("g", count, 8, 4, seed=0)
+        assert netlist.num_gates == count
+
+
+def test_exact_gate_count_with_dffs():
+    netlist = generate_circuit("g", 200, 10, 5, num_dffs=30, seed=1)
+    assert netlist.num_gates == 200
+    assert len(netlist.sequential_gates()) == 30
+    assert len(netlist.combinational_gates()) == 170
+
+
+def test_io_counts():
+    netlist = generate_circuit("g", 150, 17, 9, seed=2)
+    assert len(netlist.primary_inputs) == 17
+    assert len(netlist.primary_outputs) == 9
+
+
+def test_determinism():
+    a = generate_circuit("g", 120, 10, 6, seed=42)
+    b = generate_circuit("g", 120, 10, 6, seed=42)
+    assert [(g.name, g.gate_type, g.inputs) for g in a.gates] == [
+        (g.name, g.gate_type, g.inputs) for g in b.gates
+    ]
+
+
+def test_different_seeds_differ():
+    a = generate_circuit("g", 120, 10, 6, seed=1)
+    b = generate_circuit("g", 120, 10, 6, seed=2)
+    assert [(g.gate_type, g.inputs) for g in a.gates] != [
+        (g.gate_type, g.inputs) for g in b.gates
+    ]
+
+
+def test_structural_validity_and_acyclicity():
+    netlist = generate_circuit("g", 500, 20, 10, num_dffs=50, seed=3)
+    lev = levelize(netlist)  # raises on cycles
+    assert len(lev.gates_in_order) == 450
+
+
+def test_depth_control():
+    shallow = generate_circuit("g", 300, 10, 5, depth=6, seed=4)
+    deep = generate_circuit("g", 300, 10, 5, depth=40, seed=4)
+    assert levelize(shallow).depth <= 6
+    assert levelize(deep).depth > 10
+
+
+def test_default_depth_scales():
+    assert default_depth(383) < default_depth(3512) < default_depth(22179)
+    assert 6 <= default_depth(10) <= 150
+    assert default_depth(1_000_000) == 150
+
+
+def test_fanin_distribution_realistic():
+    netlist = generate_circuit("g", 2000, 30, 15, seed=5)
+    fanins = [g.num_inputs for g in netlist.combinational_gates()]
+    assert max(fanins) <= 5
+    two_input_share = sum(1 for f in fanins if f == 2) / len(fanins)
+    assert two_input_share > 0.4
+
+
+def test_gate_type_mix():
+    netlist = generate_circuit("g", 3000, 30, 15, seed=6)
+    histogram = netlist.gate_type_histogram()
+    assert histogram.get("NAND", 0) > histogram.get("XNOR", 0)
+    assert len(histogram) >= 6  # a varied cell mix
+
+
+def test_few_dangling_nets():
+    netlist = generate_circuit("g", 1000, 20, 30, seed=7)
+    assert len(netlist.dangling_nets()) < 0.05 * netlist.num_gates
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="num_gates"):
+        generate_circuit("g", 0, 4, 2)
+    with pytest.raises(ValueError, match="num_inputs"):
+        generate_circuit("g", 10, 0, 2)
+    with pytest.raises(ValueError, match="num_outputs"):
+        generate_circuit("g", 10, 4, 0)
+    with pytest.raises(ValueError, match="num_dffs"):
+        generate_circuit("g", 10, 4, 2, num_dffs=10)
+    with pytest.raises(ValueError, match="locality"):
+        generate_circuit("g", 10, 4, 2, locality=1.5)
+
+
+def test_tiny_circuit():
+    netlist = generate_circuit("tiny", 2, 2, 1, seed=8)
+    assert netlist.num_gates == 2
+    levelize(netlist)
+
+
+def test_simulable():
+    """Generated circuits are functionally evaluable end to end."""
+    netlist = generate_circuit("g", 60, 6, 3, seed=9)
+    values = netlist.simulate({net: True for net in netlist.primary_inputs})
+    for po in netlist.primary_outputs:
+        assert isinstance(values[po], bool)

@@ -1,0 +1,100 @@
+"""Tests for topological levelization and sequential-boundary handling."""
+
+import pytest
+
+from repro.circuit.levelize import CombinationalCycleError, levelize
+from repro.circuit.netlist import Gate, Netlist
+
+
+def test_levelize_c17(c17):
+    lev = levelize(c17)
+    assert len(lev.gates_in_order) == 6
+    assert lev.depth == 3
+    assert set(lev.start_nets) == {"1", "2", "3", "6", "7"}
+    assert set(lev.end_nets) == {"22", "23"}
+
+
+def test_order_respects_dependencies(c17):
+    lev = levelize(c17)
+    position = {g.name: i for i, g in enumerate(lev.gates_in_order)}
+    for gate in lev.gates_in_order:
+        for net in gate.inputs:
+            driver = c17.driver_of(net)
+            if driver is not None:
+                assert position[driver.name] < position[gate.name]
+
+
+def test_levels_consistent(c17):
+    lev = levelize(c17)
+    for gate in lev.gates_in_order:
+        level = lev.level_of_gate[gate.name]
+        for net in gate.inputs:
+            driver = c17.driver_of(net)
+            upstream = 0 if driver is None else lev.level_of_gate[driver.name]
+            assert level >= upstream + 1
+
+
+def test_dff_boundaries():
+    gates = [
+        Gate("g1", "NOT", ("q1",), "g1"),
+        Gate("dff1", "DFF", ("g1",), "q1"),
+    ]
+    netlist = Netlist("loop", [], [], gates)
+    lev = levelize(netlist)
+    assert "q1" in lev.start_nets
+    assert "g1" in lev.end_nets
+    assert [g.name for g in lev.gates_in_order] == ["g1"]
+
+
+def test_combinational_cycle_detected():
+    gates = [
+        Gate("g1", "NOT", ("g2",), "g1"),
+        Gate("g2", "NOT", ("g1",), "g2"),
+    ]
+    netlist = Netlist("cyc", [], [], gates)
+    with pytest.raises(CombinationalCycleError, match="cycle"):
+        levelize(netlist)
+
+
+def test_dff_breaks_cycle():
+    """The same loop with a DFF inserted is legal."""
+    gates = [
+        Gate("g1", "NOT", ("q",), "g1"),
+        Gate("g2", "NOT", ("g1",), "g2"),
+        Gate("dff", "DFF", ("g2",), "q"),
+    ]
+    netlist = Netlist("ok", [], [], gates)
+    lev = levelize(netlist)
+    assert lev.depth == 2
+
+
+def test_empty_combinational_netlist():
+    netlist = Netlist("empty", ["a"], ["a"], [])
+    lev = levelize(netlist)
+    assert lev.depth == 0
+    assert lev.gates_in_order == []
+
+
+def test_multi_pin_same_net():
+    """A gate reading the same net on two pins levelizes correctly."""
+    gates = [
+        Gate("g1", "NOT", ("a",), "g1"),
+        Gate("g2", "XOR", ("g1", "g1"), "g2"),
+    ]
+    netlist = Netlist("dup", ["a"], ["g2"], gates)
+    lev = levelize(netlist)
+    assert lev.level_of_gate["g2"] == 2
+
+
+def test_generated_sequential_circuit_levelizes():
+    from repro.circuit.generate import generate_circuit
+
+    netlist = generate_circuit("seq", 300, 12, 10, num_dffs=40, seed=2)
+    lev = levelize(netlist)
+    assert len(lev.gates_in_order) == 260
+    assert len(lev.start_nets) == 12 + 40
+    assert len(lev.end_nets) == 10 + 40
+
+
+def test_depth_positive_for_real_circuits(c880):
+    assert levelize(c880).depth >= 6

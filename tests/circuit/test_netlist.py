@@ -1,0 +1,195 @@
+"""Tests for the netlist data structures."""
+
+import pytest
+
+from repro.circuit.netlist import Gate, Netlist
+
+
+def simple_netlist():
+    gates = [
+        Gate("g1", "NAND", ("a", "b"), "g1"),
+        Gate("g2", "NOT", ("g1",), "g2"),
+        Gate("g3", "OR", ("g1", "g2"), "g3"),
+    ]
+    return Netlist("simple", ["a", "b"], ["g3"], gates)
+
+
+# ---------------------------------------------------------------------------
+# Gate.
+# ---------------------------------------------------------------------------
+def test_gate_basic_fields():
+    gate = Gate("x", "NAND", ("p", "q"), "x")
+    assert gate.num_inputs == 2
+    assert not gate.is_sequential
+
+
+def test_gate_dff_is_sequential():
+    assert Gate("d", "DFF", ("p",), "q").is_sequential
+
+
+def test_gate_type_validation():
+    with pytest.raises(ValueError, match="unknown gate type"):
+        Gate("x", "MUX", ("a", "b"), "x")
+
+
+def test_gate_arity_validation():
+    with pytest.raises(ValueError, match="exactly one"):
+        Gate("x", "NOT", ("a", "b"), "x")
+    with pytest.raises(ValueError, match=">= 2"):
+        Gate("x", "NAND", ("a",), "x")
+    with pytest.raises(ValueError, match="no inputs"):
+        Gate("x", "AND", (), "x")
+
+
+@pytest.mark.parametrize(
+    "gate_type,inputs,expected",
+    [
+        ("AND", (True, True), True),
+        ("AND", (True, False), False),
+        ("NAND", (True, True), False),
+        ("OR", (False, False), False),
+        ("NOR", (False, False), True),
+        ("XOR", (True, False), True),
+        ("XOR", (True, True), False),
+        ("XNOR", (True, True), True),
+        ("NOT", (True,), False),
+        ("BUFF", (True,), True),
+    ],
+)
+def test_gate_evaluation(gate_type, inputs, expected):
+    arity = len(inputs)
+    nets = tuple(f"i{k}" for k in range(arity))
+    gate = Gate("g", gate_type, nets, "g")
+    assert gate.evaluate(list(inputs)) is expected
+
+
+def test_gate_evaluate_wrong_arity():
+    gate = Gate("g", "AND", ("a", "b"), "g")
+    with pytest.raises(ValueError, match="expects 2"):
+        gate.evaluate([True])
+
+
+# ---------------------------------------------------------------------------
+# Netlist structure.
+# ---------------------------------------------------------------------------
+def test_netlist_basic_queries():
+    netlist = simple_netlist()
+    assert netlist.num_gates == 3
+    assert netlist.driver_of("a") is None
+    assert netlist.driver_of("g1").name == "g1"
+    sinks = netlist.sinks_of("g1")
+    assert {(g.name, pin) for g, pin in sinks} == {("g2", 0), ("g3", 0)}
+    assert netlist.fanout_of("g1") == 2
+    assert netlist.fanout_of("g3") == 1  # PO counts as a sink
+
+
+def test_netlist_nets_listing():
+    netlist = simple_netlist()
+    assert set(netlist.nets) == {"a", "b", "g1", "g2", "g3"}
+
+
+def test_gate_lookup():
+    netlist = simple_netlist()
+    assert netlist.gate("g2").gate_type == "NOT"
+    with pytest.raises(KeyError, match="no gate named"):
+        netlist.gate("nope")
+
+
+def test_unknown_net_queries_raise():
+    netlist = simple_netlist()
+    with pytest.raises(KeyError, match="no net named"):
+        netlist.driver_of("zzz")
+    with pytest.raises(KeyError, match="no net named"):
+        netlist.sinks_of("zzz")
+
+
+def test_multiple_driver_rejected():
+    gates = [
+        Gate("g1", "NOT", ("a",), "n"),
+        Gate("g2", "NOT", ("a",), "n"),
+    ]
+    with pytest.raises(ValueError, match="multiple drivers"):
+        Netlist("bad", ["a"], ["n"], gates)
+
+
+def test_undriven_input_rejected():
+    gates = [Gate("g1", "NOT", ("ghost",), "g1")]
+    with pytest.raises(ValueError, match="undriven"):
+        Netlist("bad", ["a"], ["g1"], gates)
+
+
+def test_missing_output_rejected():
+    with pytest.raises(ValueError, match="does not exist"):
+        Netlist("bad", ["a"], ["ghost"], [])
+
+
+def test_duplicate_io_rejected():
+    with pytest.raises(ValueError, match="duplicate primary input"):
+        Netlist("bad", ["a", "a"], [], [])
+    gates = [Gate("g1", "NOT", ("a",), "g1")]
+    with pytest.raises(ValueError, match="duplicate primary output"):
+        Netlist("bad", ["a"], ["g1", "g1"], gates)
+
+
+def test_duplicate_gate_name_rejected():
+    gates = [
+        Gate("g1", "NOT", ("a",), "n1"),
+        Gate("g1", "NOT", ("a",), "n2"),
+    ]
+    with pytest.raises(ValueError, match="duplicate gate name"):
+        Netlist("bad", ["a"], [], gates)
+
+
+def test_dangling_nets_detection():
+    gates = [
+        Gate("g1", "NOT", ("a",), "g1"),
+        Gate("g2", "NOT", ("a",), "g2"),  # unread, not a PO
+    ]
+    netlist = Netlist("d", ["a"], ["g1"], gates)
+    assert netlist.dangling_nets() == {"g2"}
+
+
+def test_sequential_partition(c17):
+    assert c17.combinational_gates() == c17.gates
+    assert c17.sequential_gates() == []
+    assert not c17.is_sequential
+
+
+def test_gate_type_histogram(c17):
+    assert c17.gate_type_histogram() == {"NAND": 6}
+
+
+# ---------------------------------------------------------------------------
+# Functional simulation.
+# ---------------------------------------------------------------------------
+def test_simulate_simple():
+    netlist = simple_netlist()
+    values = netlist.simulate({"a": True, "b": True})
+    assert values["g1"] is False  # NAND(1,1)
+    assert values["g2"] is True
+    assert values["g3"] is True  # OR(0,1)
+
+
+def test_simulate_missing_input():
+    netlist = simple_netlist()
+    with pytest.raises(ValueError, match="missing value"):
+        netlist.simulate({"a": True})
+
+
+def test_simulate_sequential_frame():
+    gates = [
+        Gate("dff1", "DFF", ("n1",), "q1"),
+        Gate("n1", "NOT", ("q1",), "n1"),
+    ]
+    netlist = Netlist("toggler", [], ["n1"], gates)
+    low = netlist.simulate({}, dff_values={"q1": False})
+    high = netlist.simulate({}, dff_values={"q1": True})
+    assert low["n1"] is True
+    assert high["n1"] is False
+
+
+def test_c17_truth_vector(c17):
+    """Golden vector through the genuine embedded c17 netlist."""
+    values = c17.simulate({"1": 1, "2": 0, "3": 1, "6": 1, "7": 0})
+    assert values["22"] is True
+    assert values["23"] is False

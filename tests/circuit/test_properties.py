@@ -1,0 +1,79 @@
+"""Property-based tests across the circuit substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.bench_parser import parse_bench, write_bench
+from repro.circuit.generate import generate_circuit
+from repro.circuit.levelize import levelize
+
+circuit_params = st.tuples(
+    st.integers(min_value=3, max_value=120),   # gates
+    st.integers(min_value=2, max_value=12),    # inputs
+    st.integers(min_value=1, max_value=6),     # outputs
+    st.integers(min_value=0, max_value=2),     # dff fraction selector
+    st.integers(min_value=0, max_value=2**31 - 1),  # seed
+)
+
+
+@given(circuit_params)
+@settings(max_examples=30, deadline=None)
+def test_generated_circuits_are_structurally_sound(params):
+    """Any generated circuit: exact size, acyclic, valid netlist."""
+    gates, inputs, outputs, dff_sel, seed = params
+    dffs = min(dff_sel * gates // 6, gates - 1)
+    netlist = generate_circuit(
+        "prop", gates, inputs, outputs, num_dffs=dffs, seed=seed
+    )
+    assert netlist.num_gates == gates
+    assert len(netlist.sequential_gates()) == dffs
+    lev = levelize(netlist)  # raises on cycles
+    assert len(lev.gates_in_order) == gates - dffs
+
+
+@given(circuit_params)
+@settings(max_examples=20, deadline=None)
+def test_bench_roundtrip_preserves_structure(params):
+    """write_bench -> parse_bench is the identity on structure."""
+    gates, inputs, outputs, dff_sel, seed = params
+    dffs = min(dff_sel * gates // 6, gates - 1)
+    original = generate_circuit(
+        "rt", gates, inputs, outputs, num_dffs=dffs, seed=seed
+    )
+    again = parse_bench(write_bench(original), name="rt")
+    assert again.primary_inputs == original.primary_inputs
+    assert again.primary_outputs == original.primary_outputs
+    assert len(again.gates) == len(original.gates)
+    for a, b in zip(again.gates, original.gates):
+        assert (a.gate_type, a.inputs, a.output) == (
+            b.gate_type, b.inputs, b.output
+        )
+
+
+@given(circuit_params, st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_simulation_is_deterministic_function(params, vector_seed):
+    """Same inputs -> same outputs; levelization order cannot matter."""
+    gates, inputs, outputs, _dff, seed = params
+    netlist = generate_circuit("sim", gates, inputs, outputs, seed=seed)
+    rng = np.random.default_rng(vector_seed)
+    vector = {
+        net: bool(rng.integers(2)) for net in netlist.primary_inputs
+    }
+    first = netlist.simulate(vector)
+    second = netlist.simulate(vector)
+    assert first == second
+
+
+@given(st.integers(3, 60), st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_levelization_is_topological(num_gates, seed):
+    netlist = generate_circuit("topo", num_gates, 4, 2, seed=seed)
+    lev = levelize(netlist)
+    position = {g.name: i for i, g in enumerate(lev.gates_in_order)}
+    for gate in lev.gates_in_order:
+        for net in gate.inputs:
+            driver = netlist.driver_of(net)
+            if driver is not None and not driver.is_sequential:
+                assert position[driver.name] < position[gate.name]

@@ -1,0 +1,74 @@
+"""Shared fixtures: small meshes, kernels, circuits, and solved KLEs.
+
+Expensive artifacts (mesh refinement, eigen-solves, placements) are
+session-scoped so the suite stays fast while every module gets realistic
+objects to test against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit.benchmarks import load_circuit
+from repro.core.galerkin import solve_kle
+from repro.core.kernels import GaussianKernel, SeparableExponentialKernel
+from repro.mesh.refine import refine_rectangle
+from repro.mesh.structured import structured_rectangle_mesh
+from repro.place.placer import place_netlist
+
+DIE = (-1.0, -1.0, 1.0, 1.0)
+
+
+@pytest.fixture(scope="session")
+def gaussian_kernel():
+    """The experiment-style Gaussian kernel (decay close to the fitted c)."""
+    return GaussianKernel(c=2.7)
+
+
+@pytest.fixture(scope="session")
+def separable_kernel():
+    return SeparableExponentialKernel(c=1.0)
+
+
+@pytest.fixture(scope="session")
+def small_structured_mesh():
+    """A 10x10 structured mesh (200 triangles) of the die."""
+    return structured_rectangle_mesh(*DIE, 10, 10)
+
+
+@pytest.fixture(scope="session")
+def small_refined_mesh():
+    """A coarse Ruppert mesh of the die (fast to build, quality-bounded)."""
+    return refine_rectangle(*DIE, min_angle_degrees=28.0, max_area=0.03)
+
+
+@pytest.fixture(scope="session")
+def gaussian_kle(gaussian_kernel, small_structured_mesh):
+    """Solved KLE of the Gaussian kernel on the small structured mesh."""
+    return solve_kle(gaussian_kernel, small_structured_mesh, num_eigenpairs=60)
+
+
+@pytest.fixture(scope="session")
+def separable_kle(separable_kernel, small_structured_mesh):
+    return solve_kle(separable_kernel, small_structured_mesh, num_eigenpairs=40)
+
+
+@pytest.fixture(scope="session")
+def c17():
+    return load_circuit("c17")
+
+
+@pytest.fixture(scope="session")
+def c880():
+    return load_circuit("c880")
+
+
+@pytest.fixture(scope="session")
+def c880_placement(c880):
+    return place_netlist(c880, DIE, seed=11)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

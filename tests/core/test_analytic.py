@@ -1,0 +1,143 @@
+"""Tests for the analytic exponential-kernel KLE (Ghanem–Spanos oracle)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analytic import (
+    analytic_truncated_variance_1d,
+    evaluate_series_covariance,
+    exponential_kle_1d,
+    make_field_sampler_2d,
+    separable_exponential_kle_2d,
+)
+
+C = 1.0
+A = 1.0
+
+
+@pytest.fixture(scope="module")
+def pairs_1d():
+    return exponential_kle_1d(C, A, 12)
+
+
+def test_eigenvalues_descending(pairs_1d):
+    lams = [p.eigenvalue for p in pairs_1d]
+    assert all(lams[i] >= lams[i + 1] for i in range(len(lams) - 1))
+
+
+def test_omegas_satisfy_transcendental_equations(pairs_1d):
+    for pair in pairs_1d:
+        if pair.parity == "even":
+            residual = C - pair.omega * math.tan(pair.omega * A)
+        else:
+            residual = pair.omega + C * math.tan(pair.omega * A)
+        assert abs(residual) < 1e-8
+
+
+def test_eigenvalue_formula(pairs_1d):
+    for pair in pairs_1d:
+        expected = 2.0 * C / (pair.omega**2 + C**2)
+        assert pair.eigenvalue == pytest.approx(expected, rel=1e-12)
+
+
+def test_parities_interleave(pairs_1d):
+    """Even and odd families alternate in the sorted spectrum."""
+    parities = [p.parity for p in pairs_1d[:6]]
+    assert parities == ["even", "odd", "even", "odd", "even", "odd"]
+
+
+def test_eigenfunctions_orthonormal(pairs_1d):
+    xs = np.linspace(-A, A, 20001)
+    dx = xs[1] - xs[0]
+    for i in range(5):
+        for j in range(5):
+            inner = np.sum(pairs_1d[i](xs) * pairs_1d[j](xs)) * dx
+            expected = 1.0 if i == j else 0.0
+            assert inner == pytest.approx(expected, abs=2e-3)
+
+
+def test_mercer_series_converges_to_kernel_1d():
+    """Σ λ f(x) f(y) -> exp(-c|x-y|) pointwise."""
+    pairs = exponential_kle_1d(C, A, 120)
+    x = np.array(0.3)
+    y = np.array(-0.2)
+    series = evaluate_series_covariance(pairs, x, y)
+    assert float(series) == pytest.approx(math.exp(-C * 0.5), abs=2e-3)
+
+
+def test_eigenvalue_sum_approaches_total_variance():
+    pairs = exponential_kle_1d(C, A, 200)
+    captured = analytic_truncated_variance_1d(pairs, A)
+    assert 0.97 < captured <= 1.0 + 1e-9
+
+
+def test_2d_products_sorted_descending():
+    pairs = separable_exponential_kle_2d(C, A, 20)
+    lams = [p.eigenvalue for p in pairs]
+    assert all(lams[i] >= lams[i + 1] for i in range(len(lams) - 1))
+
+
+def test_2d_top_eigenvalue_is_square_of_1d_top():
+    one_d = exponential_kle_1d(C, A, 1)[0].eigenvalue
+    two_d = separable_exponential_kle_2d(C, A, 1)[0].eigenvalue
+    assert two_d == pytest.approx(one_d * one_d, rel=1e-12)
+
+
+def test_2d_eigenfunction_is_product():
+    pairs = separable_exponential_kle_2d(C, A, 3)
+    pair = pairs[0]
+    pts = np.array([[0.2, -0.3], [0.0, 0.9]])
+    expected = pair.factor_x(pts[:, 0]) * pair.factor_y(pts[:, 1])
+    assert np.allclose(pair(pts), expected)
+
+
+def test_2d_eigenfunctions_orthonormal_on_square():
+    pairs = separable_exponential_kle_2d(C, A, 4)
+    n = 400
+    xs = np.linspace(-A, A, n)
+    grid = np.stack(np.meshgrid(xs, xs, indexing="xy"), axis=-1).reshape(-1, 2)
+    w = (2.0 * A / (n - 1)) ** 2
+    f0 = pairs[0](grid)
+    f3 = pairs[3](grid)
+    assert float(np.sum(f0 * f0) * w) == pytest.approx(1.0, abs=0.02)
+    assert float(np.sum(f0 * f3) * w) == pytest.approx(0.0, abs=0.02)
+
+
+def test_field_sampler_2d_statistics():
+    pairs = separable_exponential_kle_2d(C, A, 30)
+    sampler = make_field_sampler_2d(pairs)
+    rng = np.random.default_rng(0)
+    pts = np.array([[0.0, 0.0], [0.1, 0.0], [0.9, -0.9]])
+    xi = rng.standard_normal((20000, len(pairs)))
+    samples = sampler(pts, xi)
+    assert samples.shape == (20000, 3)
+    # Variance approaches 1 from below; the slow 2-D exponential spectrum
+    # leaves a visible truncation deficit at 30 terms.
+    assert 0.75 < samples.var(axis=0)[0] <= 1.0 + 0.05
+    corr = np.corrcoef(samples[:, 0], samples[:, 1])[0, 1]
+    assert corr == pytest.approx(math.exp(-C * 0.1), abs=0.07)
+
+
+def test_field_sampler_validates_xi_shape():
+    pairs = separable_exponential_kle_2d(C, A, 4)
+    sampler = make_field_sampler_2d(pairs)
+    with pytest.raises(ValueError, match="num_samples, 4"):
+        sampler(np.zeros((2, 2)), np.zeros((10, 3)))
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError, match="c must be positive"):
+        exponential_kle_1d(0.0, 1.0, 3)
+    with pytest.raises(ValueError, match="half_length"):
+        exponential_kle_1d(1.0, -1.0, 3)
+    with pytest.raises(ValueError, match="num_terms"):
+        exponential_kle_1d(1.0, 1.0, 0)
+
+
+def test_different_interval_scaling():
+    """On a wider interval the leading eigenvalue grows (more variance)."""
+    narrow = exponential_kle_1d(1.0, 0.5, 1)[0].eigenvalue
+    wide = exponential_kle_1d(1.0, 2.0, 1)[0].eigenvalue
+    assert wide > narrow

@@ -1,0 +1,189 @@
+"""Tests for the Galerkin discretization and eigensolve (paper §3.2/§4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analytic import separable_exponential_kle_2d
+from repro.core.galerkin import GalerkinKLE, assemble_galerkin_matrix, solve_kle
+from repro.core.kernels import (
+    GaussianKernel,
+    MaternBesselKernel,
+    SeparableExponentialKernel,
+)
+from repro.mesh.structured import structured_rectangle_mesh
+
+DIE = (-1.0, -1.0, 1.0, 1.0)
+
+
+def test_centroid_assembly_matches_paper_formula(small_structured_mesh):
+    """With the centroid rule, K_ik = K(c_i, c_k) a_i a_k exactly (eq. 21)."""
+    kernel = GaussianKernel(2.0)
+    mesh = small_structured_mesh
+    matrix = assemble_galerkin_matrix(kernel, mesh, rule="centroid")
+    i, k = 3, 17
+    expected = float(
+        kernel(mesh.centroids[i], mesh.centroids[k])
+        * mesh.areas[i]
+        * mesh.areas[k]
+    )
+    assert matrix[i, k] == pytest.approx(expected, rel=1e-12)
+
+
+def test_assembled_matrix_is_symmetric(small_structured_mesh):
+    matrix = assemble_galerkin_matrix(
+        GaussianKernel(2.7), small_structured_mesh
+    )
+    assert np.array_equal(matrix, matrix.T)
+
+
+@pytest.mark.parametrize("rule", ["centroid", "three_point", "seven_point"])
+def test_higher_order_rules_assemble_symmetric(rule):
+    mesh = structured_rectangle_mesh(*DIE, 4, 4)
+    matrix = assemble_galerkin_matrix(GaussianKernel(2.0), mesh, rule=rule)
+    assert matrix.shape == (mesh.num_triangles, mesh.num_triangles)
+    assert np.allclose(matrix, matrix.T, atol=1e-12)
+
+
+def test_higher_order_rule_integrates_entries_better():
+    """Higher-order quadrature computes the double integral of eq. (18)
+    more accurately than the centroid rule — the paper's §4.2 trade-off.
+
+    Reference: the same entry assembled with the degree-5 rule on a 4×
+    subdivided pair of triangles.
+    """
+    kernel = GaussianKernel(2.7)
+    coarse = structured_rectangle_mesh(*DIE, 3, 3)
+    fine = structured_rectangle_mesh(*DIE, 12, 12)
+    # Entry (i, i): the self-integral over one coarse triangle equals the
+    # sum over its 16 fine sub-triangles of the fine-matrix block.
+    reference_matrix = assemble_galerkin_matrix(kernel, fine, rule="seven_point")
+    # Map fine triangles to coarse ones via centroids.
+    from repro.mesh.locate import TriangleLocator
+
+    locator = TriangleLocator(coarse)
+    owner = locator.locate_many(fine.centroids)
+    i, k = 0, 4
+    mask_i = owner == i
+    mask_k = owner == k
+    reference = float(reference_matrix[np.ix_(mask_i, mask_k)].sum())
+    centroid = assemble_galerkin_matrix(kernel, coarse, rule="centroid")[i, k]
+    three = assemble_galerkin_matrix(kernel, coarse, rule="three_point")[i, k]
+    assert abs(three - reference) < abs(centroid - reference)
+
+
+def test_eigenvalues_descending_and_nonnegative(gaussian_kle):
+    eigvals = gaussian_kle.eigenvalues
+    assert np.all(np.diff(eigvals) <= 1e-12)
+    assert eigvals[0] > 0.0
+    # The Gaussian kernel is strictly PD; leading eigenvalues stay positive.
+    assert np.all(eigvals[:20] > 0.0)
+
+
+def test_eigenvalue_sum_equals_die_area():
+    """Mercer: Σλ_j = ∫K(x,x)dx = |D| = 4; the full Galerkin spectrum
+    reproduces that exactly (trace preservation)."""
+    mesh = structured_rectangle_mesh(*DIE, 8, 8)
+    kle = solve_kle(GaussianKernel(2.7), mesh)  # all eigenpairs
+    assert float(np.sum(kle.eigenvalues)) == pytest.approx(4.0, rel=1e-9)
+
+
+def test_matches_analytic_separable_kernel(separable_kle):
+    """Validation against the Ghanem–Spanos closed form (< 2 % on the
+    leading pairs at this mesh resolution)."""
+    analytic = separable_exponential_kle_2d(1.0, 1.0, 6)
+    for j, pair in enumerate(analytic):
+        rel = abs(separable_kle.eigenvalues[j] - pair.eigenvalue)
+        assert rel / pair.eigenvalue < 0.03
+
+
+def test_mesh_convergence_toward_analytic():
+    """Eigenvalue error decreases as the mesh refines (Theorem 2 spirit)."""
+    kernel = SeparableExponentialKernel(1.0)
+    truth = separable_exponential_kle_2d(1.0, 1.0, 1)[0].eigenvalue
+    errors = []
+    for cells in (4, 8, 16):
+        mesh = structured_rectangle_mesh(*DIE, cells, cells)
+        kle = solve_kle(kernel, mesh, num_eigenpairs=1)
+        errors.append(abs(kle.eigenvalues[0] - truth))
+    assert errors[0] > errors[1] > errors[2]
+
+
+def test_matern_kernel_solvable():
+    """The whole point of the paper: eq. (6) kernels have no analytic KLE,
+    but the numerical flow handles them."""
+    mesh = structured_rectangle_mesh(*DIE, 8, 8)
+    kle = solve_kle(MaternBesselKernel(b=2.0, s=2.5), mesh, num_eigenpairs=10)
+    assert kle.eigenvalues[0] > kle.eigenvalues[5] > 0.0
+
+
+def test_galerkin_matrix_cached():
+    mesh = structured_rectangle_mesh(*DIE, 4, 4)
+    solver = GalerkinKLE(GaussianKernel(2.0), mesh)
+    first = solver.galerkin_matrix
+    assert solver.galerkin_matrix is first
+
+
+def test_num_eigenpairs_truncation():
+    mesh = structured_rectangle_mesh(*DIE, 6, 6)
+    kle = solve_kle(GaussianKernel(2.0), mesh, num_eigenpairs=7)
+    assert kle.num_eigenpairs == 7
+    assert kle.d_vectors.shape == (mesh.num_triangles, 7)
+
+
+def test_num_eigenpairs_larger_than_n_clamped():
+    mesh = structured_rectangle_mesh(*DIE, 2, 2)  # 8 triangles
+    kle = solve_kle(GaussianKernel(2.0), mesh, num_eigenpairs=100)
+    assert kle.num_eigenpairs == 8
+
+
+def test_empty_mesh_rejected():
+    with pytest.raises(ValueError, match="at least one point|empty"):
+        from repro.mesh.delaunay import delaunay_mesh
+
+        delaunay_mesh(np.zeros((0, 2)))
+
+
+def test_eigenfunctions_phi_orthonormal(gaussian_kle):
+    """dᵀ Φ d = I: the discrete form of eigenfunction orthonormality."""
+    mesh = gaussian_kle.mesh
+    gram = gaussian_kle.d_vectors.T @ (
+        mesh.areas[:, None] * gaussian_kle.d_vectors
+    )
+    assert np.allclose(gram, np.eye(gram.shape[0]), atol=1e-9)
+
+
+def test_eigen_equation_residual_small(gaussian_kle):
+    """K d ≈ λ Φ d for the computed pairs."""
+    from repro.core.galerkin import assemble_galerkin_matrix
+
+    mesh = gaussian_kle.mesh
+    k_matrix = assemble_galerkin_matrix(gaussian_kle.kernel, mesh)
+    for j in (0, 3, 10):
+        d = gaussian_kle.d_vectors[:, j]
+        lhs = k_matrix @ d
+        rhs = gaussian_kle.eigenvalues[j] * (mesh.areas * d)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+
+def test_blocked_assembly_matches_unblocked():
+    """Chunked high-order assembly must equal the one-shot computation."""
+    mesh = structured_rectangle_mesh(*DIE, 3, 3)
+    kernel = GaussianKernel(2.0)
+    small_blocks = assemble_galerkin_matrix(
+        kernel, mesh, rule="three_point", max_block_bytes=2048
+    )
+    one_shot = assemble_galerkin_matrix(
+        kernel, mesh, rule="three_point", max_block_bytes=1 << 30
+    )
+    assert np.allclose(small_blocks, one_shot, atol=1e-12)
+
+
+def test_arpack_solver_matches_dense(gaussian_kle):
+    """solve_kle(method='arpack') reproduces the dense leading spectrum."""
+    arpack = solve_kle(
+        gaussian_kle.kernel, gaussian_kle.mesh, num_eigenpairs=12,
+        method="arpack",
+    )
+    assert np.allclose(
+        arpack.eigenvalues, gaussian_kle.eigenvalues[:12], rtol=1e-8
+    )

@@ -1,0 +1,182 @@
+"""Tests for the piecewise-linear (hat-basis) Galerkin extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.analytic import separable_exponential_kle_2d
+from repro.core.galerkin import solve_kle
+from repro.core.galerkin_linear import (
+    assemble_linear_galerkin_matrix,
+    linear_mass_matrix,
+    solve_kle_linear,
+)
+from repro.core.kernels import GaussianKernel, SeparableExponentialKernel
+from repro.mesh.structured import structured_rectangle_mesh
+
+DIE = (-1.0, -1.0, 1.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return structured_rectangle_mesh(*DIE, 8, 8)
+
+
+@pytest.fixture(scope="module")
+def linear_kle(mesh):
+    return solve_kle_linear(GaussianKernel(2.7), mesh, num_eigenpairs=40)
+
+
+# ---------------------------------------------------------------------------
+# Mass matrix.
+# ---------------------------------------------------------------------------
+def test_mass_matrix_symmetric_positive_definite(mesh):
+    mass = linear_mass_matrix(mesh)
+    assert np.allclose(mass, mass.T)
+    assert np.linalg.eigvalsh(mass).min() > 0.0
+
+
+def test_mass_matrix_total_integral(mesh):
+    """Row sums of Φ integrate each hat; the grand sum is the die area
+    (hats form a partition of unity)."""
+    mass = linear_mass_matrix(mesh)
+    assert mass.sum() == pytest.approx(4.0)
+
+
+def test_mass_matrix_single_triangle():
+    from repro.mesh.mesh import TriangleMesh
+
+    mesh = TriangleMesh(
+        np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]),
+        np.array([[0, 1, 2]]),
+    )
+    mass = linear_mass_matrix(mesh)
+    area = 0.5
+    expected = area / 12.0 * np.array(
+        [[2.0, 1.0, 1.0], [1.0, 2.0, 1.0], [1.0, 1.0, 2.0]]
+    )
+    assert np.allclose(mass, expected)
+
+
+# ---------------------------------------------------------------------------
+# Assembly and solve.
+# ---------------------------------------------------------------------------
+def test_assembly_symmetric(mesh):
+    matrix = assemble_linear_galerkin_matrix(GaussianKernel(2.0), mesh)
+    assert matrix.shape == (mesh.num_vertices, mesh.num_vertices)
+    assert np.array_equal(matrix, matrix.T)
+
+
+def test_assembly_rejects_low_order_rule(mesh):
+    with pytest.raises(ValueError, match="degree >= 2"):
+        assemble_linear_galerkin_matrix(
+            GaussianKernel(2.0), mesh, rule="centroid"
+        )
+
+
+def test_eigenvalues_descending_positive(linear_kle):
+    assert np.all(np.diff(linear_kle.eigenvalues) <= 1e-12)
+    assert linear_kle.eigenvalues[0] > 0.0
+
+
+def test_matches_analytic_better_than_constant_basis():
+    """The headline of the extension: at equal mesh, the linear basis is
+    substantially closer to the analytic eigenvalues."""
+    truth = separable_exponential_kle_2d(1.0, 1.0, 1)[0].eigenvalue
+    kernel = SeparableExponentialKernel(1.0)
+    mesh = structured_rectangle_mesh(*DIE, 8, 8)
+    constant_err = abs(
+        solve_kle(kernel, mesh, num_eigenpairs=1).eigenvalues[0] - truth
+    )
+    linear_err = abs(
+        solve_kle_linear(kernel, mesh, num_eigenpairs=1).eigenvalues[0] - truth
+    )
+    assert linear_err < 0.5 * constant_err
+
+
+def test_mesh_convergence():
+    truth = separable_exponential_kle_2d(1.0, 1.0, 1)[0].eigenvalue
+    kernel = SeparableExponentialKernel(1.0)
+    errors = []
+    for cells in (4, 8, 16):
+        mesh = structured_rectangle_mesh(*DIE, cells, cells)
+        kle = solve_kle_linear(kernel, mesh, num_eigenpairs=1)
+        errors.append(abs(kle.eigenvalues[0] - truth))
+    assert errors[0] > errors[1] > errors[2]
+
+
+def test_agrees_with_constant_basis_spectrum(mesh, linear_kle):
+    constant = solve_kle(GaussianKernel(2.7), mesh, num_eigenpairs=10)
+    rel = np.abs(
+        linear_kle.eigenvalues[:10] - constant.eigenvalues[:10]
+    ) / constant.eigenvalues[0]
+    assert float(rel.max()) < 0.02
+
+
+# ---------------------------------------------------------------------------
+# Continuous evaluation / sampling.
+# ---------------------------------------------------------------------------
+def test_eigenfunctions_mass_orthonormal(linear_kle):
+    mass = linear_mass_matrix(linear_kle.mesh)
+    gram = linear_kle.d_vectors.T @ mass @ linear_kle.d_vectors
+    assert np.allclose(gram, np.eye(gram.shape[0]), atol=1e-8)
+
+
+def test_eigenfunction_interpolates_vertices(linear_kle):
+    """At a mesh vertex the interpolated value equals the coefficient."""
+    vertex = linear_kle.mesh.vertices[12]
+    value = linear_kle.eigenfunction_at(0, vertex[None, :])[0]
+    assert value == pytest.approx(linear_kle.d_vectors[12, 0], abs=1e-9)
+
+
+def test_field_samples_continuous(linear_kle):
+    """Unlike the constant basis, samples vary smoothly across triangle
+    boundaries: nearby points give nearly identical values."""
+    pts = np.array([[0.0, 0.0], [1e-3, 1e-3], [0.9, 0.9]])
+    samples = linear_kle.sample_at_points(pts, 200, seed=0)
+    assert np.abs(samples[:, 0] - samples[:, 1]).max() < 0.02
+    assert np.abs(samples[:, 0] - samples[:, 2]).max() > 0.1
+
+
+def test_sample_statistics(linear_kle):
+    """Pointwise variance approaches 1; the L² projection overshoots a bit
+    at nodes on coarse meshes (the hat basis is not interpolatory), so the
+    tolerance reflects the 8x8 test mesh."""
+    r = linear_kle.select_truncation()
+    pts = np.array([[0.0, 0.0], [0.5, -0.5]])
+    samples = linear_kle.sample_at_points(pts, 20000, r=r, seed=1)
+    assert samples.mean() == pytest.approx(0.0, abs=0.03)
+    assert samples.var(axis=0)[0] == pytest.approx(1.0, abs=0.2)
+
+
+def test_pointwise_variance_converges_with_mesh():
+    """The coarse-mesh variance overshoot shrinks under refinement."""
+    kernel = GaussianKernel(2.7)
+    overshoots = []
+    for cells in (6, 14):
+        mesh = structured_rectangle_mesh(*DIE, cells, cells)
+        kle = solve_kle_linear(kernel, mesh, num_eigenpairs=40)
+        x0 = np.array([[0.0, 0.0]])
+        var = kle.reconstruct_kernel(x0, x0, r=40)[0, 0]
+        overshoots.append(abs(var - 1.0))
+    assert overshoots[1] < overshoots[0]
+
+
+def test_kernel_reconstruction_continuous_grid(linear_kle):
+    """Grid-point reconstruction error beats the constant basis because
+    there is no within-triangle plateau error."""
+    from repro.core.validation import die_grid
+
+    grid = die_grid(DIE, 15)
+    x0 = np.array([[0.0, 0.0]])
+    approx = linear_kle.reconstruct_kernel(x0, grid, r=30)[0]
+    exact = linear_kle.kernel.matrix(x0, grid)[0]
+    assert np.max(np.abs(approx - exact)) < 0.15  # coarse 8x8 test mesh
+
+
+def test_validation_errors(linear_kle):
+    with pytest.raises(ValueError, match="j must be in"):
+        linear_kle.eigenfunction_at(999, np.zeros((1, 2)))
+    with pytest.raises(ValueError, match="r must be in"):
+        linear_kle.reconstruct_kernel(np.zeros((1, 2)), np.zeros((1, 2)), r=0)
+    with pytest.raises(ValueError, match="num_samples"):
+        linear_kle.sample_at_points(np.zeros((1, 2)), 0)

@@ -1,0 +1,111 @@
+"""Tests for kernel fitting (the Fig. 3(a) machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel_fit import (
+    fit_exponential_to_profile,
+    fit_gaussian_to_linear_kernel_2d,
+    fit_gaussian_to_profile,
+    fit_to_linear_kernel_1d,
+    paper_experiment_kernel,
+)
+from repro.core.kernels import ExponentialKernel, GaussianKernel
+
+
+def test_gaussian_fit_recovers_exact_gaussian():
+    truth = GaussianKernel(2.2)
+    d = np.linspace(0.0, 1.5, 80)
+    fit = fit_gaussian_to_profile(d, truth.profile(d))
+    assert fit.parameter == pytest.approx(2.2, rel=1e-6)
+    assert fit.rmse < 1e-10
+
+
+def test_exponential_fit_recovers_exact_exponential():
+    truth = ExponentialKernel(1.7)
+    d = np.linspace(0.0, 2.0, 80)
+    fit = fit_exponential_to_profile(d, truth.profile(d))
+    assert fit.parameter == pytest.approx(1.7, rel=1e-6)
+    assert fit.rmse < 1e-10
+
+
+def test_fig3a_gaussian_beats_exponential():
+    """The paper's headline Fig. 3(a) observation."""
+    fits = fit_to_linear_kernel_1d(1.0)
+    assert fits["gaussian"].rmse < fits["exponential"].rmse
+
+
+def test_fig3a_fit_errors_are_small():
+    fits = fit_to_linear_kernel_1d(1.0)
+    assert fits["gaussian"].rmse < 0.08
+    assert fits["gaussian"].max_error < 0.15
+
+
+def test_fit_result_reports_consistent_kernel():
+    fits = fit_to_linear_kernel_1d(1.0)
+    gaussian = fits["gaussian"]
+    assert isinstance(gaussian.kernel, GaussianKernel)
+    assert gaussian.kernel.c == pytest.approx(gaussian.parameter)
+
+
+def test_2d_fit_weights_differ_from_1d_fit():
+    """The area weight (∝ v) shifts the best-fit c away from the 1-D fit."""
+    one_d = fit_to_linear_kernel_1d(1.0)["gaussian"].parameter
+    two_d = fit_gaussian_to_linear_kernel_2d(1.0).parameter
+    assert two_d != pytest.approx(one_d, rel=1e-3)
+
+
+def test_fit_scales_with_correlation_distance():
+    """Doubling rho scales distances by 2, so c scales by 1/4 (Gaussian)."""
+    c1 = fit_gaussian_to_linear_kernel_2d(1.0).parameter
+    c2 = fit_gaussian_to_linear_kernel_2d(2.0).parameter
+    assert c2 == pytest.approx(c1 / 4.0, rel=1e-3)
+
+
+def test_paper_experiment_kernel_is_reproducible():
+    k1 = paper_experiment_kernel()
+    k2 = paper_experiment_kernel()
+    assert isinstance(k1, GaussianKernel)
+    assert k1.c == pytest.approx(k2.c)
+
+
+def test_paper_experiment_kernel_value():
+    """Regression lock on the fitted decay rate (c ≈ 2.72 on the unit-rho
+    cone); a drift here silently changes every experiment."""
+    kernel = paper_experiment_kernel()
+    assert kernel.c == pytest.approx(2.72394, rel=1e-3)
+
+
+def test_paper_kernel_nearly_uncorrelated_across_die():
+    kernel = paper_experiment_kernel()
+    corner_to_corner = kernel.profile(np.array([2.0 * np.sqrt(2.0)]))[0]
+    assert corner_to_corner < 1e-6
+
+
+def test_mismatched_shapes_rejected():
+    with pytest.raises(ValueError, match="equal shapes"):
+        fit_gaussian_to_profile([0.0, 0.5], [1.0])
+
+
+def test_empty_data_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        fit_gaussian_to_profile([], [])
+
+
+def test_paper_experiment_kernel_rejects_bad_side():
+    with pytest.raises(ValueError, match="positive"):
+        paper_experiment_kernel(chip_side=0.0)
+
+
+def test_weighted_fit_respects_weights():
+    """Heavy weight at large distance drags the fit toward matching there."""
+    d = np.linspace(0.0, 1.0, 50)
+    target = np.clip(1.0 - d, 0.0, None)
+    flat = fit_gaussian_to_profile(d, target)
+    w = np.where(d > 0.8, 100.0, 1.0)
+    tail_weighted = fit_gaussian_to_profile(d, target, weights=w)
+    tail_err_flat = abs(flat.kernel.profile(d[-1:]) - target[-1])[0]
+    tail_err_weighted = abs(
+        tail_weighted.kernel.profile(d[-1:]) - target[-1]
+    )[0]
+    assert tail_err_weighted < tail_err_flat

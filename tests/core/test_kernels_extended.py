@@ -1,0 +1,155 @@
+"""Tests for the anisotropic and nonstationary kernel extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    AnisotropicGaussianKernel,
+    GaussianKernel,
+    NonstationaryVarianceKernel,
+)
+from repro.core.validation import probe_kernel_validity
+
+DIE = (-1.0, -1.0, 1.0, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Anisotropic Gaussian.
+# ---------------------------------------------------------------------------
+def test_isotropic_limit_matches_gaussian():
+    aniso = AnisotropicGaussianKernel(2.7, 2.7, angle=0.4)
+    iso = GaussianKernel(2.7)
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, (30, 2))
+    y = rng.uniform(-1, 1, (30, 2))
+    assert np.allclose(aniso(x, y), iso(x, y), atol=1e-12)
+
+
+def test_anisotropy_direction_dependent():
+    """Weak decay along x (major axis), strong along y."""
+    kernel = AnisotropicGaussianKernel(c_major=1.0, c_minor=9.0, angle=0.0)
+    d = 0.5
+    along_x = float(kernel(np.zeros(2), np.array([d, 0.0])))
+    along_y = float(kernel(np.zeros(2), np.array([0.0, d])))
+    assert along_x == pytest.approx(np.exp(-1.0 * d * d))
+    assert along_y == pytest.approx(np.exp(-9.0 * d * d))
+    assert along_x > along_y
+
+
+def test_rotation_moves_preferred_axis():
+    """At 90 degrees the roles of x and y swap exactly."""
+    base = AnisotropicGaussianKernel(1.0, 9.0, angle=0.0)
+    rotated = AnisotropicGaussianKernel(1.0, 9.0, angle=np.pi / 2.0)
+    d = 0.4
+    assert float(rotated(np.zeros(2), np.array([d, 0.0]))) == pytest.approx(
+        float(base(np.zeros(2), np.array([0.0, d])))
+    )
+
+
+def test_anisotropic_unit_diagonal_and_validity():
+    kernel = AnisotropicGaussianKernel(2.0, 6.0, angle=0.7)
+    pts = np.random.default_rng(1).uniform(-1, 1, (40, 2))
+    assert np.allclose(kernel.variance_at(pts), 1.0)
+    assert probe_kernel_validity(kernel, DIE, seed=2)
+
+
+def test_anisotropic_symmetry():
+    kernel = AnisotropicGaussianKernel(2.0, 6.0, angle=1.1)
+    rng = np.random.default_rng(3)
+    x = rng.uniform(-1, 1, (20, 2))
+    y = rng.uniform(-1, 1, (20, 2))
+    assert np.allclose(kernel(x, y), kernel(y, x))
+
+
+def test_anisotropic_solvable_by_galerkin():
+    """The generality claim: the numerical flow is oblivious to anisotropy."""
+    from repro.core.galerkin import solve_kle
+    from repro.mesh.structured import structured_rectangle_mesh
+
+    mesh = structured_rectangle_mesh(*DIE, 10, 10)
+    kle = solve_kle(
+        AnisotropicGaussianKernel(1.5, 6.0, angle=0.5), mesh,
+        num_eigenpairs=20,
+    )
+    assert kle.eigenvalues[0] > kle.eigenvalues[10] > 0
+    # Anisotropy breaks the square-die x/y degeneracy: λ2 != λ3.
+    assert abs(kle.eigenvalues[1] - kle.eigenvalues[2]) > 1e-3
+
+
+def test_anisotropic_validation():
+    with pytest.raises(ValueError, match="positive"):
+        AnisotropicGaussianKernel(0.0, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Nonstationary variance modulation.
+# ---------------------------------------------------------------------------
+def edge_sigma(points):
+    """Variance grows toward the die edge (a realistic gradient)."""
+    points = np.asarray(points, dtype=float)
+    radius = np.sqrt(np.sum(points * points, axis=-1))
+    return 1.0 + 0.5 * radius
+
+
+def test_nonstationary_diagonal_is_sigma_squared():
+    kernel = NonstationaryVarianceKernel(GaussianKernel(2.0), edge_sigma)
+    pts = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0]])
+    expected = edge_sigma(pts) ** 2
+    assert np.allclose(kernel.variance_at(pts), expected)
+
+
+def test_nonstationary_center_variance_one():
+    kernel = NonstationaryVarianceKernel(GaussianKernel(2.0), edge_sigma)
+    assert float(kernel(np.zeros(2), np.zeros(2))) == pytest.approx(1.0)
+
+
+def test_nonstationary_valid(DIE=DIE):
+    kernel = NonstationaryVarianceKernel(GaussianKernel(2.7), edge_sigma)
+    assert probe_kernel_validity(kernel, DIE, seed=4)
+
+
+def test_nonstationary_correlation_preserved():
+    """Normalizing by the local sigmas recovers the base correlation."""
+    base = GaussianKernel(2.0)
+    kernel = NonstationaryVarianceKernel(base, edge_sigma)
+    x = np.array([0.3, 0.1])
+    y = np.array([-0.5, 0.8])
+    cov = float(kernel(x, y))
+    corr = cov / (edge_sigma(x[None])[0] * edge_sigma(y[None])[0])
+    assert corr == pytest.approx(float(base(x, y)))
+
+
+def test_nonstationary_rejects_nonpositive_sigma():
+    kernel = NonstationaryVarianceKernel(GaussianKernel(1.0), lambda p: 0.0 * p[..., 0])
+    with pytest.raises(ValueError, match="strictly positive"):
+        kernel(np.zeros(2), np.zeros(2))
+
+
+def test_nonstationary_kle_eigenvalue_sum_is_total_variance():
+    """Mercer on a nonstationary field: Σλ = ∫σ²(x)dx, not |D|."""
+    from repro.core.galerkin import solve_kle
+    from repro.mesh.structured import structured_rectangle_mesh
+
+    kernel = NonstationaryVarianceKernel(GaussianKernel(2.7), edge_sigma)
+    mesh = structured_rectangle_mesh(*DIE, 12, 12)
+    kle = solve_kle(kernel, mesh)
+    total = float(np.sum(kle.eigenvalues))
+    # ∫ (1 + r/2)² over the square, via fine quadrature on centroids.
+    fine = structured_rectangle_mesh(*DIE, 60, 60)
+    reference = float(
+        np.sum(edge_sigma(fine.centroids) ** 2 * fine.areas)
+    )
+    assert total == pytest.approx(reference, rel=0.01)
+
+
+def test_nonstationary_sampling_shows_edge_gradient():
+    from repro.field.random_field import RandomField
+
+    kernel = NonstationaryVarianceKernel(GaussianKernel(2.7), edge_sigma)
+    field = RandomField(kernel)
+    pts = np.array([[0.0, 0.0], [0.95, 0.95]])
+    samples = field.sample(pts, 20000, seed=5)
+    center_std = samples[:, 0].std()
+    edge_std = samples[:, 1].std()
+    assert center_std == pytest.approx(1.0, abs=0.05)
+    assert edge_std == pytest.approx(float(edge_sigma(pts[1:2])[0]), abs=0.08)

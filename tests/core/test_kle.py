@@ -1,0 +1,234 @@
+"""Tests for KLE truncation, reconstruction, and sampling (paper §4.3/§5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kle import KLEResult, select_truncation
+
+
+# ---------------------------------------------------------------------------
+# The truncation criterion (the "1 % rule").
+# ---------------------------------------------------------------------------
+def test_select_truncation_geometric_decay():
+    """Fast decay -> small r; the bound must actually hold at the answer."""
+    n = 1000
+    eigvals = 0.5 ** np.arange(200)
+    r = select_truncation(eigvals, n, fraction=0.01)
+    retained = eigvals[:r].sum()
+    unused = eigvals[-1] * (n - 200) + eigvals[r:].sum()
+    assert unused <= 0.01 * retained
+    assert r < 20
+
+
+def test_select_truncation_is_minimal():
+    n = 1000
+    eigvals = 0.5 ** np.arange(200)
+    r = select_truncation(eigvals, n, fraction=0.01)
+    if r > 1:
+        retained = eigvals[: r - 1].sum()
+        unused = eigvals[-1] * (n - 200) + eigvals[r - 1 :].sum()
+        assert unused > 0.01 * retained
+
+
+def test_select_truncation_flat_spectrum_returns_m():
+    """No decay -> criterion cannot be met -> returns all computed."""
+    eigvals = np.ones(50)
+    assert select_truncation(eigvals, 1000, fraction=0.01) == 50
+
+
+def test_select_truncation_larger_fraction_smaller_r():
+    eigvals = 0.7 ** np.arange(100)
+    r_strict = select_truncation(eigvals, 500, fraction=0.01)
+    r_loose = select_truncation(eigvals, 500, fraction=0.10)
+    assert r_loose <= r_strict
+
+
+def test_select_truncation_input_validation():
+    with pytest.raises(ValueError, match="descending"):
+        select_truncation(np.array([1.0, 2.0]), 10)
+    with pytest.raises(ValueError, match="fraction"):
+        select_truncation(np.array([2.0, 1.0]), 10, fraction=0.0)
+    with pytest.raises(ValueError, match="total_dimension"):
+        select_truncation(np.array([2.0, 1.0]), 1)
+    with pytest.raises(ValueError, match="non-empty"):
+        select_truncation(np.array([]), 10)
+
+
+def test_paper_truncation_r_on_kle(gaussian_kle):
+    """On the Gaussian kernel the criterion gives r in the paper's ~25
+    neighbourhood even on the coarse test mesh."""
+    r = gaussian_kle.select_truncation()
+    assert 15 <= r <= 35
+    assert gaussian_kle.variance_captured(r) > 0.98
+
+
+@given(st.floats(min_value=0.3, max_value=0.9), st.integers(250, 2000))
+@settings(max_examples=25, deadline=None)
+def test_truncation_bound_holds_property(decay, n):
+    """For any geometric spectrum the criterion's bound holds at the
+    returned r (when r < m)."""
+    eigvals = decay ** np.arange(200)
+    r = select_truncation(eigvals, n, fraction=0.01)
+    if r < 200:
+        retained = eigvals[:r].sum()
+        unused = eigvals[-1] * (n - 200) + eigvals[r:].sum()
+        assert unused <= 0.01 * retained + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Reconstruction matrix and sampling.
+# ---------------------------------------------------------------------------
+def test_reconstruction_matrix_shape(gaussian_kle):
+    d_lambda = gaussian_kle.reconstruction_matrix(10)
+    assert d_lambda.shape == (gaussian_kle.mesh.num_triangles, 10)
+
+
+def test_reconstruction_matrix_column_scaling(gaussian_kle):
+    """Column j is sqrt(λ_j) times eigenvector j."""
+    d_lambda = gaussian_kle.reconstruction_matrix(5)
+    for j in range(5):
+        expected = (
+            np.sqrt(gaussian_kle.eigenvalues[j]) * gaussian_kle.d_vectors[:, j]
+        )
+        assert np.allclose(d_lambda[:, j], expected)
+
+
+def test_sample_triangle_values_shape_and_determinism(gaussian_kle):
+    s1 = gaussian_kle.sample_triangle_values(50, r=10, seed=42)
+    s2 = gaussian_kle.sample_triangle_values(50, r=10, seed=42)
+    assert s1.shape == (50, gaussian_kle.mesh.num_triangles)
+    assert np.array_equal(s1, s2)
+    s3 = gaussian_kle.sample_triangle_values(50, r=10, seed=43)
+    assert not np.array_equal(s1, s3)
+
+
+def test_sample_statistics_match_model(gaussian_kle):
+    """Large-sample mean ~0 and per-triangle variance ~ diag(D_λ D_λᵀ)."""
+    r = gaussian_kle.select_truncation()
+    samples = gaussian_kle.sample_triangle_values(20000, r=r, seed=0)
+    assert abs(samples.mean()) < 0.02
+    model_var = np.sum(gaussian_kle.reconstruction_matrix(r) ** 2, axis=1)
+    sample_var = samples.var(axis=0)
+    assert np.allclose(sample_var, model_var, rtol=0.15, atol=0.02)
+
+
+def test_sampled_correlation_tracks_kernel(gaussian_kle):
+    """Nearby triangles correlate ~K(d); distant ones don't."""
+    mesh = gaussian_kle.mesh
+    samples = gaussian_kle.sample_triangle_values(8000, seed=1)
+    centroids = mesh.centroids
+    # Pick the two closest and two farthest centroid pairs deterministically.
+    a = 0
+    dists = np.linalg.norm(centroids - centroids[a], axis=1)
+    near = int(np.argsort(dists)[1])
+    far = int(np.argmax(dists))
+    corr_near = np.corrcoef(samples[:, a], samples[:, near])[0, 1]
+    corr_far = np.corrcoef(samples[:, a], samples[:, far])[0, 1]
+    expected_near = float(
+        gaussian_kle.kernel(centroids[a], centroids[near])
+    )
+    assert corr_near == pytest.approx(expected_near, abs=0.08)
+    assert abs(corr_far) < 0.08
+
+
+def test_sample_at_points_consistent_with_triangles(gaussian_kle):
+    pts = np.array([[0.05, 0.05], [-0.6, 0.3]])
+    tri = gaussian_kle.locator.locate_many(pts)
+    direct = gaussian_kle.sample_at_points(pts, 20, r=5, seed=9)
+    per_triangle = gaussian_kle.sample_triangle_values(20, r=5, seed=9)
+    assert np.allclose(direct, per_triangle[:, tri])
+
+
+def test_sample_at_points_with_precomputed_indices(gaussian_kle):
+    pts = np.array([[0.0, 0.0]])
+    tri = gaussian_kle.locator.locate_many(pts)
+    a = gaussian_kle.sample_at_points(pts, 10, seed=3)
+    b = gaussian_kle.sample_at_points(pts, 10, seed=3, triangle_indices=tri)
+    assert np.allclose(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Kernel reconstruction (Mercer partial sums).
+# ---------------------------------------------------------------------------
+def test_reconstruct_kernel_converges_with_r(gaussian_kle):
+    """More eigenpairs -> better kernel reconstruction at the centroids."""
+    mesh = gaussian_kle.mesh
+    x0 = mesh.centroids[:1]
+    exact = gaussian_kle.kernel.matrix(x0, mesh.centroids)[0]
+    errors = []
+    for r in (2, 10, 40):
+        approx = gaussian_kle.reconstruct_kernel(x0, mesh.centroids, r=r)[0]
+        errors.append(float(np.max(np.abs(exact - approx))))
+    assert errors[0] > errors[1] > errors[2]
+    assert errors[2] < 0.05
+
+
+def test_covariance_on_triangles_psd(gaussian_kle):
+    cov = gaussian_kle.covariance_on_triangles(r=15)
+    eigvals = np.linalg.eigvalsh(cov)
+    assert eigvals.min() >= -1e-10
+
+
+def test_truncate_returns_consistent_subresult(gaussian_kle):
+    sub = gaussian_kle.truncate(7)
+    assert sub.num_eigenpairs == 7
+    assert np.array_equal(sub.eigenvalues, gaussian_kle.eigenvalues[:7])
+    assert sub.mesh is gaussian_kle.mesh
+    # The truncated result samples identically for equal seeds and r.
+    assert np.allclose(
+        sub.sample_triangle_values(5, seed=2),
+        gaussian_kle.sample_triangle_values(5, r=7, seed=2),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Validation of constructor invariants.
+# ---------------------------------------------------------------------------
+def test_klresult_shape_validation(gaussian_kle):
+    mesh = gaussian_kle.mesh
+    with pytest.raises(ValueError, match="columns"):
+        KLEResult(
+            eigenvalues=np.array([1.0, 0.5]),
+            d_vectors=np.zeros((mesh.num_triangles, 3)),
+            mesh=mesh,
+        )
+    with pytest.raises(ValueError, match="rows"):
+        KLEResult(
+            eigenvalues=np.array([1.0]),
+            d_vectors=np.zeros((mesh.num_triangles + 1, 1)),
+            mesh=mesh,
+        )
+
+
+def test_r_out_of_range_rejected(gaussian_kle):
+    with pytest.raises(ValueError, match="r must be in"):
+        gaussian_kle.reconstruction_matrix(0)
+    with pytest.raises(ValueError, match="r must be in"):
+        gaussian_kle.reconstruction_matrix(gaussian_kle.num_eigenpairs + 1)
+    with pytest.raises(ValueError, match="num_samples"):
+        gaussian_kle.sample_triangle_values(0)
+
+
+def test_eigenfunction_accessors(gaussian_kle):
+    f0 = gaussian_kle.eigenfunction_on_triangles(0)
+    assert f0.shape == (gaussian_kle.mesh.num_triangles,)
+    values = gaussian_kle.eigenfunction_at(0, np.array([[0.0, 0.0]]))
+    tri = gaussian_kle.locator.locate((0.0, 0.0))
+    assert values[0] == pytest.approx(f0[tri])
+    with pytest.raises(ValueError, match="j must be in"):
+        gaussian_kle.eigenfunction_on_triangles(10_000)
+
+
+def test_first_eigenfunction_has_constant_sign(gaussian_kle):
+    """The leading eigenfunction of a positive kernel is sign-definite
+    (Perron–Frobenius analogue)."""
+    f0 = gaussian_kle.eigenfunction_on_triangles(0)
+    assert np.all(f0 > 0.0) or np.all(f0 < 0.0)
+
+
+def test_second_eigenfunction_changes_sign(gaussian_kle):
+    """Higher eigenfunctions oscillate (the Fig. 4 'Fourier-like' shape)."""
+    f1 = gaussian_kle.eigenfunction_on_triangles(1)
+    assert np.any(f1 > 0.0) and np.any(f1 < 0.0)

@@ -1,0 +1,106 @@
+"""Tests for the triangle quadrature rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.quadrature import (
+    CENTROID_RULE,
+    SEVEN_POINT_RULE,
+    THREE_POINT_RULE,
+    get_rule,
+)
+from repro.mesh.structured import structured_rectangle_mesh
+
+RULES = [CENTROID_RULE, THREE_POINT_RULE, SEVEN_POINT_RULE]
+
+TRIANGLE = (
+    np.array([0.0, 0.0]),
+    np.array([2.0, 0.0]),
+    np.array([0.0, 1.0]),
+)
+TRIANGLE_AREA = 1.0
+
+
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.name)
+def test_weights_sum_to_one(rule):
+    assert rule.weights.sum() == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.name)
+def test_barycentric_rows_sum_to_one(rule):
+    assert np.allclose(rule.barycentric.sum(axis=1), 1.0)
+
+
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.name)
+def test_nodes_inside_triangle(rule):
+    assert np.all(rule.barycentric >= 0.0)
+    assert np.all(rule.barycentric <= 1.0)
+
+
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.name)
+def test_integrates_constant_exactly(rule):
+    a, b, c = TRIANGLE
+    value = rule.integrate(lambda p: 3.5, a, b, c, TRIANGLE_AREA)
+    assert value == pytest.approx(3.5 * TRIANGLE_AREA)
+
+
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.name)
+def test_integrates_linear_exactly(rule):
+    """All rules are at least degree 1: exact on x + 2y.
+
+    ∫∫ (x + 2y) over the (0,0)-(2,0)-(0,1) triangle = 2/3 + 2/3 = 4/3.
+    """
+    a, b, c = TRIANGLE
+    value = rule.integrate(lambda p: p[0] + 2 * p[1], a, b, c, TRIANGLE_AREA)
+    assert value == pytest.approx(4.0 / 3.0, rel=1e-12)
+
+
+def test_three_point_exact_on_quadratic_centroid_is_not():
+    """∫∫ x² over the reference-scaled triangle = 2/3 (monomial formula)."""
+    a, b, c = TRIANGLE
+    exact = 2.0 / 3.0
+    three = THREE_POINT_RULE.integrate(lambda p: p[0] ** 2, a, b, c, 1.0)
+    centroid = CENTROID_RULE.integrate(lambda p: p[0] ** 2, a, b, c, 1.0)
+    assert three == pytest.approx(exact, rel=1e-12)
+    assert centroid != pytest.approx(exact, rel=1e-3)
+
+
+def test_seven_point_exact_on_quintic():
+    """x⁵ over the unit right triangle: ∫∫ x⁵ dy dx = ∫ x⁵(1-x) = 1/42."""
+    a = np.array([0.0, 0.0])
+    b = np.array([1.0, 0.0])
+    c = np.array([0.0, 1.0])
+    value = SEVEN_POINT_RULE.integrate(lambda p: p[0] ** 5, a, b, c, 0.5)
+    assert value == pytest.approx(1.0 / 42.0, rel=1e-10)
+
+
+def test_points_on_mesh_shapes_and_total_weight():
+    mesh = structured_rectangle_mesh(-1, -1, 1, 1, 4, 4)
+    for rule in RULES:
+        pts, weights = rule.points_on_mesh(mesh)
+        assert pts.shape == (mesh.num_triangles * rule.num_points, 2)
+        assert weights.shape == (mesh.num_triangles * rule.num_points,)
+        # Total weight integrates the constant 1 over the die: area 4.
+        assert weights.sum() == pytest.approx(4.0)
+
+
+def test_points_on_mesh_integrates_linear():
+    mesh = structured_rectangle_mesh(0, 0, 2, 1, 5, 3)
+    pts, weights = THREE_POINT_RULE.points_on_mesh(mesh)
+    # ∫∫ x over [0,2]x[0,1] = 2.
+    assert float(np.sum(pts[:, 0] * weights)) == pytest.approx(2.0)
+
+
+def test_get_rule_lookup():
+    assert get_rule("centroid") is CENTROID_RULE
+    assert get_rule("three_point") is THREE_POINT_RULE
+    assert get_rule("seven_point") is SEVEN_POINT_RULE
+
+
+def test_get_rule_unknown():
+    with pytest.raises(ValueError, match="unknown quadrature rule"):
+        get_rule("gauss99")
+
+
+def test_rule_degrees_ordered():
+    assert CENTROID_RULE.degree < THREE_POINT_RULE.degree < SEVEN_POINT_RULE.degree

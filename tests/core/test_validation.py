@@ -1,0 +1,99 @@
+"""Tests for the validation utilities (Fig. 3(b) machinery, PSD probes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import GaussianKernel, LinearConeKernel
+from repro.core.kle import KLEResult
+from repro.core.validation import (
+    die_grid,
+    eigenfunction_orthonormality_defect,
+    kernel_reconstruction_report,
+    mercer_variance_defect,
+    probe_kernel_validity,
+)
+
+DIE = (-1.0, -1.0, 1.0, 1.0)
+
+
+def test_die_grid_shape_and_bounds():
+    grid = die_grid(DIE, 11)
+    assert grid.shape == (121, 2)
+    assert grid[:, 0].min() >= -1.0
+    assert grid[:, 0].max() <= 1.0
+
+
+def test_die_grid_inset_keeps_points_interior():
+    grid = die_grid(DIE, 5, inset=0.01)
+    assert grid[:, 0].min() > -1.0
+    assert grid[:, 1].max() < 1.0
+
+
+def test_reconstruction_report_centroids(gaussian_kle):
+    report = kernel_reconstruction_report(gaussian_kle, r=25)
+    assert report.r == 25
+    assert report.max_abs_error < 0.05  # paper scale: 0.016
+    assert report.rms_error <= report.max_abs_error
+    assert report.errors.shape[0] == report.grid.shape[0]
+
+
+def test_reconstruction_report_grid_mode_larger_error(gaussian_kle):
+    """Grid evaluation includes within-triangle interpolation error, so it
+    upper-bounds the centroid-mode error."""
+    cent = kernel_reconstruction_report(gaussian_kle, r=25)
+    grid = kernel_reconstruction_report(
+        gaussian_kle, r=25, evaluation="grid", resolution=21
+    )
+    assert grid.max_abs_error >= cent.max_abs_error
+
+
+def test_reconstruction_report_improves_with_r(gaussian_kle):
+    errs = [
+        kernel_reconstruction_report(gaussian_kle, r=r).max_abs_error
+        for r in (3, 12, 40)
+    ]
+    assert errs[0] > errs[1] > errs[2]
+
+
+def test_reconstruction_report_requires_kernel(gaussian_kle):
+    stripped = KLEResult(
+        eigenvalues=gaussian_kle.eigenvalues,
+        d_vectors=gaussian_kle.d_vectors,
+        mesh=gaussian_kle.mesh,
+        kernel=None,
+    )
+    with pytest.raises(ValueError, match="no kernel"):
+        kernel_reconstruction_report(stripped)
+
+
+def test_reconstruction_report_bad_mode(gaussian_kle):
+    with pytest.raises(ValueError, match="centroids.*grid|grid.*centroids"):
+        kernel_reconstruction_report(gaussian_kle, evaluation="vertices")
+
+
+def test_mercer_variance_defect_small_for_full_spectrum():
+    from repro.core.galerkin import solve_kle
+    from repro.mesh.structured import structured_rectangle_mesh
+
+    mesh = structured_rectangle_mesh(*DIE, 6, 6)
+    kle = solve_kle(GaussianKernel(2.7), mesh)
+    assert mercer_variance_defect(kle) < 1e-10
+
+
+def test_mercer_variance_defect_reflects_truncation(gaussian_kle):
+    truncated = gaussian_kle.truncate(3)
+    assert mercer_variance_defect(truncated) > 0.05
+
+
+def test_probe_validity_gaussian_true():
+    assert probe_kernel_validity(GaussianKernel(2.0), DIE, seed=0)
+
+
+def test_probe_validity_cone_false():
+    assert not probe_kernel_validity(
+        LinearConeKernel(1.0), DIE, num_points=250, seed=0
+    )
+
+
+def test_orthonormality_defect_tiny(gaussian_kle):
+    assert eigenfunction_orthonormality_defect(gaussian_kle) < 1e-9

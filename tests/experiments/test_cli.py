@@ -1,0 +1,52 @@
+"""Tests for the ``python -m repro.experiments`` CLI runner."""
+
+import pytest
+
+from repro.experiments.__main__ import EXHIBITS, RUNNERS, main
+
+
+def test_every_exhibit_has_a_runner():
+    assert set(EXHIBITS) == set(RUNNERS)
+
+
+def test_cli_runs_fast_exhibits(capsys):
+    exit_code = main(["fig1", "fig3"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Fig 1(a)" in out
+    assert "gaussian wins: True" in out
+    assert "max |error|" in out
+
+
+def test_cli_fig45_renders_heatmaps(capsys):
+    main(["fig45"])
+    out = capsys.readouterr().out
+    assert "r from the 1% criterion" in out
+    assert "| marks r=" in out  # the decay plot marker
+    assert "@@" in out  # heatmap shading present
+
+
+def test_cli_all_keyword_selects_everything():
+    import argparse
+
+    parser_args = ["all"]
+    # Don't actually run table1 (slow); just check expansion logic.
+    from repro.experiments.__main__ import EXHIBITS
+
+    selected = list(EXHIBITS) if "all" in parser_args else parser_args
+    assert selected == list(EXHIBITS)
+    del argparse
+
+
+def test_cli_rejects_unknown_exhibit():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_cli_save_writes_files(tmp_path, capsys):
+    exit_code = main(["fig1", "--save", str(tmp_path)])
+    assert exit_code == 0
+    saved = (tmp_path / "fig1.txt").read_text()
+    assert "Fig 1(a)" in saved
+    # Output is still echoed to the console.
+    assert "Fig 1(a)" in capsys.readouterr().out

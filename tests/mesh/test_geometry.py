@@ -1,0 +1,146 @@
+"""Tests for the geometric predicates and triangle primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.geometry import (
+    bounding_box,
+    in_circumcircle,
+    orient2d,
+    orientation_sign,
+    point_in_triangle,
+    segment_encroached,
+    triangle_angles,
+    triangle_area,
+    triangle_centroid,
+    triangle_circumcenter,
+    triangle_max_side,
+    triangle_min_angle,
+)
+
+coords = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+pts = st.tuples(coords, coords)
+
+
+def test_orient2d_signs():
+    assert orient2d((0, 0), (1, 0), (0, 1)) > 0  # CCW
+    assert orient2d((0, 0), (0, 1), (1, 0)) < 0  # CW
+    assert orient2d((0, 0), (1, 1), (2, 2)) == 0  # collinear
+
+
+def test_orientation_sign_tolerance():
+    assert orientation_sign((0, 0), (1, 0), (0.5, 1e-16)) == 0
+    assert orientation_sign((0, 0), (1, 0), (0.5, 1e-3)) == 1
+    assert orientation_sign((0, 0), (1, 0), (0.5, -1e-3)) == -1
+
+
+@given(pts, pts, pts)
+@settings(max_examples=60, deadline=None)
+def test_orient2d_antisymmetry_property(a, b, c):
+    assert orient2d(a, b, c) == pytest.approx(-orient2d(b, a, c), abs=1e-9)
+
+
+def test_in_circumcircle_basic():
+    a, b, c = (0.0, 0.0), (1.0, 0.0), (0.0, 1.0)
+    assert in_circumcircle(a, b, c, (0.5, 0.5 - 1e-6))  # inside
+    assert not in_circumcircle(a, b, c, (2.0, 2.0))  # outside
+    # Cocircular point reports False (tie-break).
+    assert not in_circumcircle(a, b, c, (1.0, 1.0))
+
+
+def test_in_circumcircle_center_always_inside():
+    a, b, c = (0.0, 0.0), (2.0, 0.0), (1.0, 1.5)
+    center = triangle_circumcenter(a, b, c)
+    assert in_circumcircle(a, b, c, center)
+
+
+def test_triangle_area_known():
+    assert triangle_area((0, 0), (2, 0), (0, 1)) == pytest.approx(1.0)
+    assert triangle_area((0, 0), (0, 1), (2, 0)) == pytest.approx(1.0)
+
+
+def test_triangle_centroid():
+    cx, cy = triangle_centroid((0, 0), (3, 0), (0, 3))
+    assert (cx, cy) == (1.0, 1.0)
+
+
+def test_circumcenter_equidistant():
+    a, b, c = (0.0, 0.0), (4.0, 0.0), (1.0, 3.0)
+    center = triangle_circumcenter(a, b, c)
+    da = math.dist(center, a)
+    assert math.dist(center, b) == pytest.approx(da)
+    assert math.dist(center, c) == pytest.approx(da)
+
+
+def test_circumcenter_degenerate_raises():
+    with pytest.raises(ValueError, match="degenerate"):
+        triangle_circumcenter((0, 0), (1, 1), (2, 2))
+
+
+def test_triangle_angles_sum_to_pi():
+    angles = triangle_angles((0, 0), (3, 0), (0.5, 2.0))
+    assert sum(angles) == pytest.approx(math.pi)
+
+
+def test_equilateral_angles():
+    a, b = (0.0, 0.0), (1.0, 0.0)
+    c = (0.5, math.sqrt(3) / 2)
+    for angle in triangle_angles(a, b, c):
+        assert angle == pytest.approx(math.pi / 3)
+    assert triangle_min_angle(a, b, c) == pytest.approx(math.pi / 3)
+
+
+def test_degenerate_angles_raise():
+    with pytest.raises(ValueError, match="zero-length"):
+        triangle_angles((0, 0), (0, 0), (1, 1))
+
+
+def test_triangle_max_side():
+    assert triangle_max_side((0, 0), (3, 0), (0, 4)) == pytest.approx(5.0)
+
+
+def test_point_in_triangle_inclusive():
+    a, b, c = (0.0, 0.0), (1.0, 0.0), (0.0, 1.0)
+    assert point_in_triangle((0.25, 0.25), a, b, c)
+    assert point_in_triangle((0.0, 0.0), a, b, c)  # vertex
+    assert point_in_triangle((0.5, 0.0), a, b, c)  # edge
+    assert not point_in_triangle((0.6, 0.6), a, b, c)
+    assert not point_in_triangle((-0.1, 0.5), a, b, c)
+
+
+def test_point_in_triangle_orientation_independent():
+    a, b, c = (0.0, 0.0), (1.0, 0.0), (0.0, 1.0)
+    p = (0.2, 0.3)
+    assert point_in_triangle(p, a, b, c) == point_in_triangle(p, a, c, b)
+
+
+@given(pts, pts, pts)
+@settings(max_examples=60, deadline=None)
+def test_centroid_always_in_triangle_property(a, b, c):
+    if abs(orient2d(a, b, c)) < 1e-6:
+        return  # skip (near-)degenerate triangles
+    assert point_in_triangle(triangle_centroid(a, b, c), a, b, c)
+
+
+def test_segment_encroached():
+    a, b = (0.0, 0.0), (2.0, 0.0)
+    assert segment_encroached(a, b, (1.0, 0.5))  # inside diametral circle
+    assert not segment_encroached(a, b, (1.0, 1.5))  # outside
+    assert not segment_encroached(a, b, (1.0, 1.0))  # exactly on circle
+    assert not segment_encroached(a, b, a)  # endpoint
+
+
+def test_bounding_box():
+    pts_arr = np.array([[0.0, 1.0], [-2.0, 3.0], [4.0, -1.0]])
+    assert bounding_box(pts_arr) == (-2.0, -1.0, 4.0, 3.0)
+
+
+def test_bounding_box_empty_raises():
+    with pytest.raises(ValueError, match="empty"):
+        bounding_box(np.zeros((0, 2)))

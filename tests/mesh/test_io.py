@@ -1,0 +1,67 @@
+"""Tests for mesh persistence (.npz and Triangle .node/.ele formats)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.io import (
+    load_mesh_npz,
+    load_mesh_triangle_format,
+    save_mesh_npz,
+    save_mesh_triangle_format,
+)
+from repro.mesh.structured import structured_rectangle_mesh
+
+
+@pytest.fixture()
+def mesh():
+    return structured_rectangle_mesh(-1, -1, 1, 1, 3, 3)
+
+
+def test_npz_roundtrip(mesh, tmp_path):
+    path = str(tmp_path / "mesh.npz")
+    save_mesh_npz(mesh, path)
+    loaded = load_mesh_npz(path)
+    assert np.array_equal(loaded.vertices, mesh.vertices)
+    assert np.array_equal(loaded.triangles, mesh.triangles)
+
+
+def test_triangle_format_roundtrip(mesh, tmp_path):
+    base = str(tmp_path / "die")
+    node_path, ele_path = save_mesh_triangle_format(mesh, base)
+    assert node_path.endswith(".node")
+    assert ele_path.endswith(".ele")
+    loaded = load_mesh_triangle_format(base)
+    assert np.allclose(loaded.vertices, mesh.vertices)
+    assert np.array_equal(loaded.triangles, mesh.triangles)
+
+
+def test_triangle_format_full_precision(mesh, tmp_path):
+    base = str(tmp_path / "prec")
+    save_mesh_triangle_format(mesh, base)
+    loaded = load_mesh_triangle_format(base)
+    assert np.array_equal(loaded.vertices, mesh.vertices)  # repr round-trip
+
+
+def test_triangle_format_zero_based_files(tmp_path):
+    """Triangle also emits 0-based files; the loader handles both."""
+    (tmp_path / "z.node").write_text(
+        "4 2 0 0\n0 0.0 0.0\n1 1.0 0.0\n2 1.0 1.0\n3 0.0 1.0\n"
+    )
+    (tmp_path / "z.ele").write_text("2 3 0\n0 0 1 2\n1 0 2 3\n")
+    mesh = load_mesh_triangle_format(str(tmp_path / "z"))
+    assert mesh.num_triangles == 2
+    assert mesh.total_area() == pytest.approx(1.0)
+
+
+def test_triangle_format_comments_ignored(tmp_path):
+    (tmp_path / "c.node").write_text(
+        "# header comment\n3 2 0 0\n1 0.0 0.0\n2 1.0 0.0  # inline\n3 0.0 1.0\n"
+    )
+    (tmp_path / "c.ele").write_text("1 3 0\n1 1 2 3\n")
+    mesh = load_mesh_triangle_format(str(tmp_path / "c"))
+    assert mesh.num_triangles == 1
+
+
+def test_missing_files_raise(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_mesh_triangle_format(str(tmp_path / "nothere"))

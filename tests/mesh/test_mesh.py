@@ -1,0 +1,115 @@
+"""Tests for the TriangleMesh container."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import TriangleMesh, mesh_h_for_target_triangles
+
+SQUARE_VERTS = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+SQUARE_TRIS = np.array([[0, 1, 2], [0, 2, 3]])
+
+
+@pytest.fixture()
+def square_mesh():
+    return TriangleMesh(SQUARE_VERTS, SQUARE_TRIS)
+
+
+def test_basic_properties(square_mesh):
+    assert square_mesh.num_vertices == 4
+    assert square_mesh.num_triangles == 2
+    assert len(square_mesh) == 2
+    assert np.allclose(square_mesh.areas, [0.5, 0.5])
+    assert square_mesh.total_area() == pytest.approx(1.0)
+
+
+def test_centroids(square_mesh):
+    assert np.allclose(square_mesh.centroids[0], [2.0 / 3.0, 1.0 / 3.0])
+    assert np.allclose(square_mesh.centroids[1], [1.0 / 3.0, 2.0 / 3.0])
+
+
+def test_cw_triangles_normalized_to_ccw():
+    cw = np.array([[0, 2, 1], [0, 3, 2]])  # clockwise versions
+    mesh = TriangleMesh(SQUARE_VERTS, cw)
+    assert np.allclose(mesh.areas, [0.5, 0.5])
+    # After normalization the signed area is positive for all triangles.
+    a = mesh.vertices[mesh.triangles[:, 0]]
+    b = mesh.vertices[mesh.triangles[:, 1]]
+    c = mesh.vertices[mesh.triangles[:, 2]]
+    signed = (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1]) - (
+        b[:, 1] - a[:, 1]
+    ) * (c[:, 0] - a[:, 0])
+    assert np.all(signed > 0)
+
+
+def test_arrays_read_only(square_mesh):
+    with pytest.raises(ValueError):
+        square_mesh.vertices[0, 0] = 99.0
+    with pytest.raises(ValueError):
+        square_mesh.areas[0] = 99.0
+
+
+def test_side_lengths_and_h(square_mesh):
+    assert square_mesh.max_side() == pytest.approx(np.sqrt(2.0))
+    sides = square_mesh.side_lengths()
+    assert sides.shape == (2, 3)
+
+
+def test_min_angle(square_mesh):
+    assert square_mesh.min_angle_degrees() == pytest.approx(45.0)
+
+
+def test_quality_report(square_mesh):
+    q = square_mesh.quality()
+    assert q.num_triangles == 2
+    assert q.min_angle_degrees == pytest.approx(45.0)
+    assert q.total_area == pytest.approx(1.0)
+    assert q.max_side == pytest.approx(np.sqrt(2.0))
+
+
+def test_edge_use_counts_and_boundary(square_mesh):
+    counts = square_mesh.edge_use_counts()
+    assert counts[(0, 2)] == 2  # the shared diagonal
+    boundary = square_mesh.boundary_edges()
+    assert len(boundary) == 4
+    assert square_mesh.is_conforming()
+
+
+def test_contains_point(square_mesh):
+    assert square_mesh.contains_point((0.5, 0.5))
+    assert not square_mesh.contains_point((1.5, 0.5))
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="out of range"):
+        TriangleMesh(SQUARE_VERTS, np.array([[0, 1, 7]]))
+    with pytest.raises(ValueError, match="repeats"):
+        TriangleMesh(SQUARE_VERTS, np.array([[0, 1, 1]]))
+    with pytest.raises(ValueError, match="degenerate"):
+        TriangleMesh(
+            np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]]),
+            np.array([[0, 1, 2]]),
+        )
+    with pytest.raises(ValueError, match=r"\(nv, 2\)"):
+        TriangleMesh(np.zeros((3, 3)), SQUARE_TRIS)
+    with pytest.raises(ValueError, match=r"\(nt, 3\)"):
+        TriangleMesh(SQUARE_VERTS, np.array([[0, 1]]))
+
+
+def test_triangle_points_accessor(square_mesh):
+    a, b, c = square_mesh.triangle_points(0)
+    assert np.array_equal(a, [0.0, 0.0])
+    assert np.array_equal(b, [1.0, 0.0])
+    assert np.array_equal(c, [1.0, 1.0])
+
+
+def test_mesh_h_estimate():
+    h = mesh_h_for_target_triangles(4.0, 1546)
+    # Equilateral triangles of area 4/1546: side ~0.077.
+    assert 0.05 < h < 0.12
+    with pytest.raises(ValueError):
+        mesh_h_for_target_triangles(0.0, 10)
+
+
+def test_repr(square_mesh):
+    text = repr(square_mesh)
+    assert "num_triangles=2" in text

@@ -1,0 +1,203 @@
+"""Tests for Ruppert-style quality refinement (the Triangle [24] stand-in)."""
+
+import pytest
+
+from repro.mesh.refine import (
+    RefinementError,
+    paper_mesh,
+    refine_rectangle,
+    refine_to_triangle_count,
+)
+
+
+@pytest.fixture(scope="module")
+def coarse_quality_mesh():
+    return refine_rectangle(-1, -1, 1, 1, min_angle_degrees=28.0, max_area=0.05)
+
+
+def test_min_angle_bound_satisfied(coarse_quality_mesh):
+    assert coarse_quality_mesh.min_angle_degrees() >= 28.0 - 1e-9
+
+
+def test_max_area_bound_satisfied(coarse_quality_mesh):
+    assert float(coarse_quality_mesh.areas.max()) <= 0.05 + 1e-12
+
+
+def test_covers_die_exactly(coarse_quality_mesh):
+    assert coarse_quality_mesh.total_area() == pytest.approx(4.0, abs=1e-9)
+
+
+def test_conforming(coarse_quality_mesh):
+    assert coarse_quality_mesh.is_conforming()
+
+
+def test_boundary_edges_on_die_border(coarse_quality_mesh):
+    verts = coarse_quality_mesh.vertices
+    for u, v in coarse_quality_mesh.boundary_edges():
+        for vid in (u, v):
+            x, y = verts[vid]
+            on_border = (
+                abs(abs(x) - 1.0) < 1e-12 or abs(abs(y) - 1.0) < 1e-12
+            )
+            assert on_border
+
+
+def test_angle_only_refinement():
+    mesh = refine_rectangle(0, 0, 1, 1, min_angle_degrees=25.0)
+    assert mesh.min_angle_degrees() >= 25.0 - 1e-9
+    assert mesh.total_area() == pytest.approx(1.0)
+
+
+def test_aspect_rectangle():
+    mesh = refine_rectangle(0, 0, 4, 1, min_angle_degrees=28.0, max_area=0.2)
+    assert mesh.total_area() == pytest.approx(4.0)
+    assert mesh.min_angle_degrees() >= 28.0 - 1e-9
+
+
+def test_paper_mesh_reproduces_paper_scale():
+    """28° / 0.1 %-area knobs give a mesh in the paper's n = 1546 class."""
+    mesh = paper_mesh()
+    assert 1200 <= mesh.num_triangles <= 2000
+    assert mesh.min_angle_degrees() >= 28.0 - 1e-9
+    assert float(mesh.areas.max()) <= 0.004 + 1e-12
+    assert mesh.total_area() == pytest.approx(4.0, abs=1e-9)
+
+
+def test_smaller_max_area_more_triangles():
+    coarse = refine_rectangle(0, 0, 1, 1, max_area=0.05)
+    fine = refine_rectangle(0, 0, 1, 1, max_area=0.01)
+    assert fine.num_triangles > coarse.num_triangles
+
+
+def test_refine_to_triangle_count_hits_targets():
+    for target in (100, 400):
+        mesh = refine_to_triangle_count(-1, -1, 1, 1, target)
+        assert abs(mesh.num_triangles - target) / target <= 0.25
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError, match="positive width"):
+        refine_rectangle(1, 0, 0, 1)
+    with pytest.raises(ValueError, match="max_area must be positive"):
+        refine_rectangle(0, 0, 1, 1, max_area=-0.1)
+    with pytest.raises(ValueError, match="not guaranteed to terminate"):
+        refine_rectangle(0, 0, 1, 1, min_angle_degrees=34.0)
+    with pytest.raises(ValueError, match="target_triangles"):
+        refine_to_triangle_count(0, 0, 1, 1, 1)
+
+
+def test_vertex_budget_enforced():
+    with pytest.raises(RefinementError, match="max_vertices"):
+        refine_rectangle(0, 0, 1, 1, max_area=1e-5, max_vertices=100)
+
+
+def test_refinement_is_deterministic():
+    m1 = refine_rectangle(0, 0, 1, 1, max_area=0.03)
+    m2 = refine_rectangle(0, 0, 1, 1, max_area=0.03)
+    assert m1.num_triangles == m2.num_triangles
+    assert (m1.vertices == m2.vertices).all()
+
+
+# ---------------------------------------------------------------------------
+# Density-adaptive refinement (size fields).
+# ---------------------------------------------------------------------------
+def test_area_limit_fn_respected():
+    from repro.mesh.refine import refine_rectangle
+
+    def limit(x, _y):
+        return 0.01 if x < 0 else 0.2
+
+    mesh = refine_rectangle(-1, -1, 1, 1, area_limit_fn=limit)
+    for area, centroid in zip(mesh.areas, mesh.centroids):
+        assert area <= (0.01 if centroid[0] < 0 else 0.2) + 1e-12
+
+
+def test_gate_density_size_field_concentrates_triangles():
+    import numpy as np
+
+    from repro.mesh.refine import gate_density_area_limit, refine_rectangle
+
+    rng = np.random.default_rng(0)
+    gates = np.concatenate(
+        [rng.uniform(-1, 0, (400, 2)), rng.uniform(-1, 1, (40, 2))]
+    )
+    fn = gate_density_area_limit(
+        gates, (-1, -1, 1, 1), dense_area=0.005, sparse_area=0.08
+    )
+    mesh = refine_rectangle(-1, -1, 1, 1, area_limit_fn=fn)
+    dense = int(np.sum(mesh.centroids[:, 0] < 0))
+    sparse = mesh.num_triangles - dense
+    assert dense > 2.5 * sparse
+    assert mesh.min_angle_degrees() >= 28.0 - 1e-9
+    assert mesh.total_area() == pytest.approx(4.0, abs=1e-9)
+
+
+def test_gate_density_size_field_validation():
+    import numpy as np
+
+    from repro.mesh.refine import gate_density_area_limit
+
+    gates = np.zeros((3, 2))
+    with pytest.raises(ValueError, match="positive"):
+        gate_density_area_limit(
+            gates, (-1, -1, 1, 1), dense_area=0.0, sparse_area=0.1
+        )
+    with pytest.raises(ValueError, match="must not exceed"):
+        gate_density_area_limit(
+            gates, (-1, -1, 1, 1), dense_area=0.2, sparse_area=0.1
+        )
+
+
+def test_empty_gate_set_gives_uniform_sparse_mesh():
+    import numpy as np
+
+    from repro.mesh.refine import gate_density_area_limit, refine_rectangle
+
+    fn = gate_density_area_limit(
+        np.zeros((0, 2)), (-1, -1, 1, 1), dense_area=0.01, sparse_area=0.1
+    )
+    mesh = refine_rectangle(-1, -1, 1, 1, area_limit_fn=fn)
+    assert float(mesh.areas.max()) <= 0.1 + 1e-12
+
+
+def test_nonpositive_area_limit_rejected():
+    from repro.mesh.refine import refine_rectangle
+
+    with pytest.raises(ValueError, match="strictly positive"):
+        refine_rectangle(-1, -1, 1, 1, area_limit_fn=lambda x, y: 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Property sweeps of the refinement knobs (hypothesis).
+# ---------------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@given(
+    st.floats(min_value=15.0, max_value=30.0),
+    st.floats(min_value=0.02, max_value=0.5),
+)
+@settings(max_examples=12, deadline=None)
+def test_refinement_bounds_hold_property(min_angle, max_area):
+    """For any legal knob combination: both bounds hold, the die is
+    covered exactly, and the mesh conforms."""
+    mesh = refine_rectangle(
+        0, 0, 1, 1, min_angle_degrees=min_angle, max_area=max_area
+    )
+    assert mesh.min_angle_degrees() >= min_angle - 1e-9
+    assert float(mesh.areas.max()) <= max_area + 1e-12
+    assert mesh.total_area() == pytest.approx(1.0, abs=1e-9)
+    assert mesh.is_conforming()
+
+
+@given(
+    st.floats(min_value=0.3, max_value=3.0),
+    st.floats(min_value=0.3, max_value=3.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_refinement_rectangle_shapes_property(width, height):
+    """Arbitrary aspect ratios refine correctly."""
+    mesh = refine_rectangle(0, 0, width, height, max_area=0.1)
+    assert mesh.total_area() == pytest.approx(width * height, rel=1e-9)
+    assert mesh.min_angle_degrees() >= 28.0 - 1e-9

@@ -1,0 +1,67 @@
+"""Tests for structured (uniform) rectangle meshes."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.structured import (
+    structured_mesh_with_triangle_count,
+    structured_rectangle_mesh,
+)
+
+
+def test_triangle_count():
+    mesh = structured_rectangle_mesh(0, 0, 1, 1, 4, 3)
+    assert mesh.num_triangles == 24
+    assert mesh.num_vertices == 20
+
+
+def test_total_area():
+    mesh = structured_rectangle_mesh(-1, -1, 1, 1, 7, 5)
+    assert mesh.total_area() == pytest.approx(4.0)
+
+
+def test_uniform_areas():
+    mesh = structured_rectangle_mesh(0, 0, 2, 1, 4, 4)
+    assert np.allclose(mesh.areas, mesh.areas[0])
+
+
+def test_conforming():
+    mesh = structured_rectangle_mesh(0, 0, 1, 1, 5, 5)
+    assert mesh.is_conforming()
+    assert len(mesh.boundary_edges()) == 20  # 4 sides x 5 cells
+
+
+def test_right_angle_quality():
+    mesh = structured_rectangle_mesh(0, 0, 1, 1, 3, 3)
+    assert mesh.min_angle_degrees() == pytest.approx(45.0)
+
+
+def test_alternating_diagonals_changes_topology():
+    flipped = structured_rectangle_mesh(0, 0, 1, 1, 2, 2)
+    straight = structured_rectangle_mesh(
+        0, 0, 1, 1, 2, 2, alternate_diagonals=False
+    )
+    assert not np.array_equal(flipped.triangles, straight.triangles)
+    assert flipped.total_area() == pytest.approx(straight.total_area())
+
+
+def test_count_targeting():
+    mesh = structured_mesh_with_triangle_count(-1, -1, 1, 1, 200)
+    assert abs(mesh.num_triangles - 200) <= 30
+
+
+def test_count_targeting_respects_aspect():
+    mesh = structured_mesh_with_triangle_count(0, 0, 4, 1, 128)
+    # Cells should be near-square: ~4x more columns than rows.
+    xs = np.unique(mesh.vertices[:, 0])
+    ys = np.unique(mesh.vertices[:, 1])
+    assert len(xs) > 2 * len(ys)
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="positive width"):
+        structured_rectangle_mesh(1, 0, 0, 1, 2, 2)
+    with pytest.raises(ValueError, match=">= 1"):
+        structured_rectangle_mesh(0, 0, 1, 1, 0, 2)
+    with pytest.raises(ValueError, match="target_triangles"):
+        structured_mesh_with_triangle_count(0, 0, 1, 1, 1)

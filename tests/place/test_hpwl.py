@@ -1,0 +1,63 @@
+"""Tests for half-perimeter wirelength."""
+
+import pytest
+
+from repro.circuit.netlist import Gate, Netlist
+from repro.place.hpwl import all_net_hpwl, net_hpwl, total_hpwl
+from repro.place.placer import Placement
+
+DIE = (-1.0, -1.0, 1.0, 1.0)
+
+
+@pytest.fixture()
+def placed_pair():
+    gates = [
+        Gate("g1", "NOT", ("a",), "g1"),
+        Gate("g2", "NOT", ("g1",), "g2"),
+        Gate("g3", "NOT", ("g1",), "g3"),
+    ]
+    netlist = Netlist("hp", ["a"], ["g2", "g3"], gates)
+    positions = {
+        "g1": (0.0, 0.0),
+        "g2": (0.5, 0.0),
+        "g3": (0.0, -0.25),
+    }
+    pads = {"a": (-1.0, 0.0), "g2": (1.0, 0.0), "g3": (0.0, 1.0)}
+    return netlist, Placement(netlist, DIE, positions, pads)
+
+
+def test_multi_sink_net_bbox(placed_pair):
+    _netlist, placement = placed_pair
+    # Net g1: driver (0,0), sinks g2 (0.5,0) and g3 (0,-0.25).
+    assert net_hpwl(placement, "g1") == pytest.approx(0.5 + 0.25)
+
+
+def test_po_net_includes_pad(placed_pair):
+    _netlist, placement = placed_pair
+    # Net g2: driver (0.5,0) + PO pad (1,0).
+    assert net_hpwl(placement, "g2") == pytest.approx(0.5)
+    # Net g3: driver (0,-0.25) + PO pad (0,1).
+    assert net_hpwl(placement, "g3") == pytest.approx(1.25)
+
+
+def test_pi_net_includes_pad(placed_pair):
+    _netlist, placement = placed_pair
+    # Net a: pad (-1,0) to sink g1 (0,0).
+    assert net_hpwl(placement, "a") == pytest.approx(1.0)
+
+
+def test_all_and_total(placed_pair):
+    _netlist, placement = placed_pair
+    per_net = all_net_hpwl(placement)
+    assert set(per_net) == {"a", "g1", "g2", "g3"}
+    assert total_hpwl(placement) == pytest.approx(sum(per_net.values()))
+
+
+def test_single_pin_net_zero():
+    gates = [Gate("g1", "NOT", ("a",), "g1")]
+    netlist = Netlist("solo", ["a"], [], gates)
+    placement = Placement(
+        netlist, DIE, {"g1": (0.3, 0.3)}, {"a": (-1.0, 0.0)}
+    )
+    # Net g1 has no sinks and is not a PO.
+    assert net_hpwl(placement, "g1") == 0.0

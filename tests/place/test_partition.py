@@ -1,0 +1,101 @@
+"""Tests for the Fiduccia–Mattheyses bipartitioner."""
+
+import numpy as np
+import pytest
+
+from repro.place.partition import cut_size, fm_bipartition
+
+
+def test_dumbbell_optimal_cut():
+    """Two triangles joined by one net: FM must find the cut of 1."""
+    nets = [[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5], [2, 3]]
+    sides = fm_bipartition(6, nets, seed=1)
+    assert cut_size(nets, sides) == 1
+    assert sides[0] == sides[1] == sides[2]
+    assert sides[3] == sides[4] == sides[5]
+
+
+def test_two_cliques_with_hyperedges():
+    """4+4 cliques as hyperedges, one bridging hyperedge; a few restarts
+    reliably escape the flat-FM local optimum."""
+    nets = [[0, 1, 2, 3], [4, 5, 6, 7], [3, 4]]
+    sides = fm_bipartition(8, nets, seed=0, restarts=5)
+    assert cut_size(nets, sides) == 1
+
+
+def test_restarts_never_hurt():
+    rng = np.random.default_rng(13)
+    nets = [list(rng.choice(30, size=3, replace=False)) for _ in range(60)]
+    single = cut_size(nets, fm_bipartition(30, nets, seed=5, restarts=1))
+    multi = cut_size(nets, fm_bipartition(30, nets, seed=5, restarts=6))
+    assert multi <= single
+
+
+def test_restarts_validation():
+    with pytest.raises(ValueError, match="restarts"):
+        fm_bipartition(4, [[0, 1]], restarts=0)
+
+
+def test_balance_respected():
+    rng = np.random.default_rng(2)
+    nets = [list(rng.choice(40, size=3, replace=False)) for _ in range(80)]
+    sides = fm_bipartition(40, nets, balance_tolerance=0.1, seed=3)
+    count = int(sides.sum())
+    assert 14 <= count <= 26  # 0.5 +/- tol/2 plus one-cell slack
+
+
+def test_weighted_balance():
+    weights = np.ones(10)
+    weights[0] = 5.0
+    nets = [[i, i + 1] for i in range(9)]
+    sides = fm_bipartition(
+        10, nets, weights=weights, balance_tolerance=0.2, seed=4
+    )
+    heavy_side = sides[0]
+    side_weight = weights[sides == heavy_side].sum()
+    assert side_weight <= 0.5 * weights.sum() + 5.0 + 0.2 * weights.sum()
+
+
+def test_cut_never_worse_than_initial():
+    rng = np.random.default_rng(5)
+    nets = [list(rng.choice(30, size=2, replace=False)) for _ in range(60)]
+    initial = np.array([i % 2 for i in range(30)], dtype=np.int8)
+    before = cut_size(nets, initial)
+    sides = fm_bipartition(30, nets, initial_sides=initial.copy(), seed=6)
+    assert cut_size(nets, sides) <= before
+
+
+def test_deterministic_given_seed():
+    rng = np.random.default_rng(7)
+    nets = [list(rng.choice(25, size=3, replace=False)) for _ in range(40)]
+    a = fm_bipartition(25, nets, seed=11)
+    b = fm_bipartition(25, nets, seed=11)
+    assert np.array_equal(a, b)
+
+
+def test_singleton_and_wide_nets_ignored():
+    nets = [[0], [1, 1], list(range(20))]  # singleton, dup-pin, over-wide
+    sides = fm_bipartition(20, nets, net_degree_cap=10, seed=8)
+    assert sides.shape == (20,)
+
+
+def test_no_nets_still_balanced():
+    sides = fm_bipartition(12, [], seed=9)
+    assert 5 <= int(sides.sum()) <= 7
+
+
+def test_input_validation():
+    with pytest.raises(ValueError, match="num_cells"):
+        fm_bipartition(0, [])
+    with pytest.raises(ValueError, match="out of range"):
+        fm_bipartition(3, [[0, 5]])
+    with pytest.raises(ValueError, match="one entry per cell"):
+        fm_bipartition(3, [[0, 1]], weights=np.ones(2))
+    with pytest.raises(ValueError, match="one entry per cell"):
+        fm_bipartition(3, [[0, 1]], initial_sides=np.zeros(2, dtype=np.int8))
+
+
+def test_cut_size_counts_correctly():
+    nets = [[0, 1], [1, 2], [0, 2]]
+    sides = np.array([0, 0, 1], dtype=np.int8)
+    assert cut_size(nets, sides) == 2

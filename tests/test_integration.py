@@ -1,0 +1,107 @@
+"""Cross-module integration tests: the paper's full pipeline, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.benchmarks import load_circuit
+from repro.core.galerkin import solve_kle
+from repro.core.kernel_fit import paper_experiment_kernel
+from repro.field.grid_model import GridPCA, grid_model_from_kernel
+from repro.field.sampling import KLESampleGenerator
+from repro.mesh.refine import refine_rectangle
+from repro.place.placer import place_netlist
+from repro.timing.ssta import MonteCarloSSTA
+from repro.timing.sta import STAEngine
+
+DIE = (-1.0, -1.0, 1.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Kernel -> mesh -> KLE -> circuit -> placement, all small-scale."""
+    kernel = paper_experiment_kernel()
+    mesh = refine_rectangle(*DIE, min_angle_degrees=28.0, max_area=0.02)
+    kle = solve_kle(kernel, mesh, num_eigenpairs=80)
+    netlist = load_circuit("c880")
+    placement = place_netlist(netlist, DIE, seed=0)
+    return kernel, mesh, kle, netlist, placement
+
+
+def test_full_ssta_pipeline_statistics(pipeline):
+    kernel, _mesh, kle, netlist, placement = pipeline
+    harness = MonteCarloSSTA(netlist, placement, kernel, kle)
+    row = harness.compare(2500, seed=0, circuit_name="c880")
+    # Table 1 shape claims at c880 scale.
+    assert row.e_mu_percent < 1.0
+    assert row.e_sigma_percent < 10.0
+    assert row.reference_std / row.reference_mean > 0.01  # real variation
+
+
+def test_truncation_criterion_selects_compact_model(pipeline):
+    _kernel, mesh, kle, _netlist, _placement = pipeline
+    r = kle.select_truncation()
+    assert r <= 35  # thousands of gate RVs -> a few tens of field RVs
+    assert kle.variance_captured(r) >= 0.98
+    assert mesh.num_triangles > 5 * r
+
+
+def test_kle_vs_grid_pca_at_equal_budget(pipeline):
+    """KLE's continuous model avoids the grid's cell-granularity artifact:
+    gates in one grid cell are perfectly correlated under PCA even when
+    visibly separated, while KLE resolves them at mesh resolution."""
+    kernel, _mesh, kle, _netlist, _placement = pipeline
+    r = 20
+    grid = grid_model_from_kernel(kernel, DIE, 4, 4)  # coarse 16-cell grid
+    pca = GridPCA(grid)
+    pts = np.array([[0.05, 0.05], [0.45, 0.45]])  # same coarse cell
+    assert grid.cell_of_points(pts)[0] == grid.cell_of_points(pts)[1]
+    pca_samples = pca.sample_at_points(pts, 4000, min(r, 16), seed=1)
+    pca_corr = np.corrcoef(pca_samples[:, 0], pca_samples[:, 1])[0, 1]
+    kle_gen = KLESampleGenerator({"L": kle}, r=r)
+    kle_samples = kle_gen.generate(pts, 4000, seed=1).samples["L"]
+    kle_corr = np.corrcoef(kle_samples[:, 0], kle_samples[:, 1])[0, 1]
+    true_corr = float(kernel(pts[0], pts[1]))
+    assert pca_corr == pytest.approx(1.0, abs=1e-9)
+    assert abs(kle_corr - true_corr) < abs(pca_corr - true_corr)
+
+
+def test_rv_count_reduction_headline(pipeline):
+    """The abstract's claim: thousands of RVs -> ~25 per parameter."""
+    _kernel, _mesh, kle, netlist, _placement = pipeline
+    r = kle.select_truncation()
+    assert netlist.num_gates / r > 10.0
+
+
+def test_spatial_correlation_survives_the_whole_flow(pipeline):
+    """Gate parameter samples out of Algorithm 2 carry kernel correlation."""
+    kernel, _mesh, kle, netlist, placement = pipeline
+    locations = placement.gate_locations()
+    generator = KLESampleGenerator({"L": kle})
+    samples = generator.generate(locations, 4000, seed=2).samples["L"]
+    # Two specific gates: nearest pair and a far pair.
+    d = np.linalg.norm(locations[0] - locations, axis=1)
+    near = int(np.argsort(d)[1])
+    far = int(np.argmax(d))
+    corr_near = np.corrcoef(samples[:, 0], samples[:, near])[0, 1]
+    corr_far = np.corrcoef(samples[:, 0], samples[:, far])[0, 1]
+    assert corr_near > float(kernel(locations[0], locations[far])) + 0.3
+    assert abs(corr_far) < 0.25
+
+
+def test_sta_worst_delay_dominated_by_end_points(pipeline):
+    _kernel, _mesh, _kle, netlist, placement = pipeline
+    engine = STAEngine(netlist, placement)
+    result = engine.nominal()
+    stacked = np.stack([v for v in result.end_arrivals.values()])
+    assert float(result.worst_delay[0]) == pytest.approx(
+        float(stacked.max())
+    )
+
+
+def test_seed_reproducibility_end_to_end(pipeline):
+    kernel, _mesh, kle, netlist, placement = pipeline
+    harness = MonteCarloSSTA(netlist, placement, kernel, kle, r=15)
+    row1 = harness.compare(150, seed=7)
+    row2 = harness.compare(150, seed=7)
+    assert row1.kle_std == pytest.approx(row2.kle_std)
+    assert row1.reference_mean == pytest.approx(row2.reference_mean)

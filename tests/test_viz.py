@@ -1,0 +1,124 @@
+"""Tests for the terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import correlation_profile, decay_plot, heatmap
+
+
+# ---------------------------------------------------------------------------
+# heatmap
+# ---------------------------------------------------------------------------
+def test_heatmap_shape_and_legend():
+    values = np.linspace(0.0, 1.0, 36).reshape(6, 6)
+    art = heatmap(values, width=20)
+    lines = art.splitlines()
+    assert len(lines) == 7  # 6 rows + legend
+    assert "=" in lines[-1]  # legend with bounds
+
+
+def test_heatmap_extremes_use_extreme_shades():
+    values = np.array([[0.0, 1.0]])
+    art = heatmap(values, legend=False, symmetric=False)
+    assert art.startswith("  ")  # min -> lightest shade (space)
+    assert art.rstrip().endswith("@@")  # max -> darkest shade
+
+
+def test_heatmap_row_zero_at_bottom():
+    values = np.array([[1.0, 1.0], [0.0, 0.0]])  # row 0 is "south"
+    art = heatmap(values, legend=False, symmetric=False)
+    top, bottom = art.splitlines()
+    assert top == "    "      # row 1 (zeros) prints first
+    assert bottom == "@@@@"   # row 0 (ones) is the bottom line
+
+
+def test_heatmap_symmetric_scale_centers_zero():
+    values = np.array([[-2.0, 0.0, 2.0]])
+    art = heatmap(values, legend=True)
+    assert "-2" in art and "2" in art
+
+
+def test_heatmap_subsampling_fits_width():
+    values = np.random.default_rng(0).uniform(size=(100, 100))
+    art = heatmap(values, width=30, legend=False)
+    assert max(len(line) for line in art.splitlines()) <= 32
+
+
+def test_heatmap_constant_field():
+    art = heatmap(np.ones((3, 3)), legend=False, symmetric=False)
+    assert set("".join(art.splitlines())) <= {" "}
+
+
+def test_heatmap_validation():
+    with pytest.raises(ValueError, match="2-D"):
+        heatmap(np.zeros(5))
+    with pytest.raises(ValueError, match="finite"):
+        heatmap(np.full((2, 2), np.nan))
+
+
+# ---------------------------------------------------------------------------
+# decay_plot
+# ---------------------------------------------------------------------------
+def test_decay_plot_bars_decrease():
+    values = 0.5 ** np.arange(20)
+    art = decay_plot(values, height=8)
+    lines = art.splitlines()
+    # Top row has fewer bars than bottom row.
+    assert lines[0].count("#") < lines[-3].count("#")
+
+
+def test_decay_plot_marker_column():
+    values = 0.7 ** np.arange(30)
+    art = decay_plot(values, marker=10)
+    assert "|" in art
+    assert "r=10" in art
+
+
+def test_decay_plot_linear_scale():
+    art = decay_plot([3.0, 2.0, 1.0], log_scale=False)
+    assert "linear scale" in art
+
+
+def test_decay_plot_validation():
+    with pytest.raises(ValueError, match="non-empty"):
+        decay_plot([])
+    with pytest.raises(ValueError, match="height"):
+        decay_plot([1.0], height=1)
+
+
+def test_decay_plot_handles_zero_values():
+    art = decay_plot([1.0, 0.5, 0.0, 0.0])
+    assert "#" in art
+
+
+# ---------------------------------------------------------------------------
+# correlation_profile
+# ---------------------------------------------------------------------------
+def test_correlation_profile_renders_data_and_model():
+    d = np.linspace(0.0, 2.0, 15)
+    empirical = np.exp(-d) + 0.01
+    model = np.exp(-d)
+    art = correlation_profile(d, empirical, model)
+    assert "o" in art
+    assert "." in art
+    assert "distance" in art
+
+
+def test_correlation_profile_data_overrides_model():
+    d = np.array([1.0])
+    art = correlation_profile(d, np.array([0.5]), np.array([0.5]), width=10,
+                              height=5)
+    grid_lines = art.splitlines()[:5]  # exclude axis/legend lines
+    assert sum(line.count("o") for line in grid_lines) == 1
+    assert sum(line.count(".") for line in grid_lines) == 0
+
+
+def test_correlation_profile_validation():
+    with pytest.raises(ValueError, match="share shape"):
+        correlation_profile(np.zeros(3), np.zeros(4))
+
+
+def test_correlation_profile_nan_tolerant():
+    d = np.array([0.5, 1.0])
+    art = correlation_profile(d, np.array([np.nan, 0.3]))
+    assert "o" in art

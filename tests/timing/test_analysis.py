@@ -1,0 +1,214 @@
+"""Tests for timing-analysis post-processing (paths, yield, criticality)."""
+
+import numpy as np
+import pytest
+
+from repro.place.placer import place_netlist
+from repro.timing.analysis import (
+    dominant_end_points,
+    end_point_criticality,
+    nominal_critical_path,
+    required_period,
+    timing_yield,
+)
+from repro.timing.library import STATISTICAL_PARAMETERS
+from repro.timing.sta import STAEngine
+
+DIE = (-1.0, -1.0, 1.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def c17_engine(c17):
+    return STAEngine(c17, place_netlist(c17, DIE, seed=0))
+
+
+@pytest.fixture(scope="module")
+def c880_engine(c880, c880_placement):
+    return STAEngine(c880, c880_placement)
+
+
+@pytest.fixture(scope="module")
+def c880_mc(c880_engine, c880):
+    rng = np.random.default_rng(5)
+    samples = {
+        name: rng.standard_normal((500, c880.num_gates))
+        for name in STATISTICAL_PARAMETERS
+    }
+    return c880_engine.run(samples)
+
+
+# ---------------------------------------------------------------------------
+# Critical path.
+# ---------------------------------------------------------------------------
+def test_critical_path_arrival_matches_sta(c17_engine):
+    path = nominal_critical_path(c17_engine)
+    assert path.arrival_ps == pytest.approx(
+        c17_engine.nominal().mean_worst_delay(), rel=1e-9
+    )
+
+
+def test_critical_path_is_connected(c17_engine, c17):
+    path = nominal_critical_path(c17_engine)
+    # Each consecutive (net, gate) pair is actually wired.
+    for gate_name, in_net, out_net in zip(
+        path.gates, path.nets[:-1], path.nets[1:]
+    ):
+        gate = c17.gate(gate_name)
+        assert in_net in gate.inputs
+        assert gate.output == out_net
+
+
+def test_critical_path_starts_at_start_point(c17_engine, c17):
+    path = nominal_critical_path(c17_engine)
+    assert path.nets[0] in c17.primary_inputs
+    assert path.nets[-1] in c17.primary_outputs
+    assert path.depth == len(path.nets) - 1
+
+
+def test_critical_path_depth_bounded_by_levelization(c880_engine):
+    from repro.circuit.levelize import levelize
+
+    path = nominal_critical_path(c880_engine)
+    assert 1 <= path.depth <= levelize(c880_engine.netlist).depth
+
+
+# ---------------------------------------------------------------------------
+# Yield / required period.
+# ---------------------------------------------------------------------------
+def test_timing_yield_monotone(c880_mc):
+    delays = c880_mc.worst_delay
+    loose = timing_yield(delays, float(delays.max()) + 1.0)
+    tight = timing_yield(delays, float(delays.min()) - 1.0)
+    middle = timing_yield(delays, float(np.median(delays)))
+    assert loose == 1.0
+    assert tight == 0.0
+    assert middle == pytest.approx(0.5, abs=0.05)
+
+
+def test_required_period_is_quantile(c880_mc):
+    delays = c880_mc.worst_delay
+    period = required_period(delays, 0.9)
+    assert timing_yield(delays, period) >= 0.9
+    assert period < float(delays.max()) + 1e-9
+
+
+def test_yield_validation(c880_mc):
+    with pytest.raises(ValueError, match="positive"):
+        timing_yield(c880_mc.worst_delay, 0.0)
+    with pytest.raises(ValueError, match="yield_target"):
+        required_period(c880_mc.worst_delay, 1.5)
+    with pytest.raises(ValueError, match="at least one"):
+        timing_yield(np.array([]), 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Criticality.
+# ---------------------------------------------------------------------------
+def test_criticality_covers_probability(c880_mc):
+    crit = end_point_criticality(c880_mc)
+    total = sum(crit.values())
+    assert total >= 1.0 - 1e-9  # every sample has at least one critical end
+
+
+def test_criticality_values_are_probabilities(c880_mc):
+    for value in end_point_criticality(c880_mc).values():
+        assert 0.0 <= value <= 1.0
+
+
+def test_dominant_end_points_ordering(c880_mc):
+    dominant = dominant_end_points(c880_mc, coverage=0.9)
+    values = [v for _n, v in dominant]
+    assert values == sorted(values, reverse=True)
+    assert len(dominant) <= len(c880_mc.end_arrivals)
+
+
+def test_dominant_end_points_coverage_validation(c880_mc):
+    with pytest.raises(ValueError, match="coverage"):
+        dominant_end_points(c880_mc, coverage=0.0)
+
+
+def test_nominal_criticality_single_winner(c880_engine):
+    result = c880_engine.nominal()
+    crit = end_point_criticality(result)
+    winners = [net for net, value in crit.items() if value == 1.0]
+    assert len(winners) >= 1
+
+
+# ---------------------------------------------------------------------------
+# Slack analysis.
+# ---------------------------------------------------------------------------
+def test_min_slack_equals_clock_minus_worst(c880_engine):
+    from repro.timing.analysis import compute_slacks
+
+    worst = c880_engine.nominal().mean_worst_delay()
+    clock = worst + 500.0
+    slacks = compute_slacks(c880_engine, clock)
+    finite = [s for s in slacks.values() if np.isfinite(s)]
+    assert min(finite) == pytest.approx(clock - worst, abs=1e-6)
+
+
+def test_critical_path_nets_share_min_slack(c880_engine):
+    from repro.timing.analysis import compute_slacks, nominal_critical_path
+
+    worst = c880_engine.nominal().mean_worst_delay()
+    clock = worst + 100.0
+    slacks = compute_slacks(c880_engine, clock)
+    path = nominal_critical_path(c880_engine)
+    for net in path.nets:
+        assert slacks[net] == pytest.approx(clock - worst, abs=1e-6)
+
+
+def test_slack_positive_when_clock_loose(c17_engine):
+    from repro.timing.analysis import compute_slacks
+
+    worst = c17_engine.nominal().mean_worst_delay()
+    slacks = compute_slacks(c17_engine, worst * 2.0)
+    assert all(s > 0 for s in slacks.values() if np.isfinite(s))
+
+
+def test_slack_negative_when_clock_tight(c17_engine):
+    from repro.timing.analysis import compute_slacks
+
+    worst = c17_engine.nominal().mean_worst_delay()
+    slacks = compute_slacks(c17_engine, worst * 0.5)
+    assert any(s < 0 for s in slacks.values() if np.isfinite(s))
+
+
+def test_slack_validation(c17_engine):
+    from repro.timing.analysis import compute_slacks
+
+    with pytest.raises(ValueError, match="positive"):
+        compute_slacks(c17_engine, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Distribution diagnostics.
+# ---------------------------------------------------------------------------
+def test_distribution_summary_gaussian_sample(rng):
+    from repro.timing.analysis import distribution_summary
+
+    sample = 100.0 + 5.0 * rng.standard_normal(50000)
+    summary = distribution_summary(sample)
+    assert summary.mean_ps == pytest.approx(100.0, abs=0.1)
+    assert summary.std_ps == pytest.approx(5.0, abs=0.1)
+    assert abs(summary.skewness) < 0.05
+    assert abs(summary.excess_kurtosis) < 0.1
+    assert abs(summary.gaussian_q997_gap_ps) < 0.5
+
+
+def test_worst_delay_is_right_skewed(c880_mc):
+    """Max over correlated path delays skews right; the Gaussian q99.7
+    prediction underestimates the empirical tail."""
+    from repro.timing.analysis import distribution_summary
+
+    summary = distribution_summary(c880_mc.worst_delay)
+    assert summary.skewness > 0.0
+
+
+def test_distribution_summary_validation():
+    from repro.timing.analysis import distribution_summary
+
+    with pytest.raises(ValueError, match="at least 8"):
+        distribution_summary(np.ones(3))
+    with pytest.raises(ValueError, match="zero-variance"):
+        distribution_summary(np.ones(100))

@@ -1,0 +1,187 @@
+"""Tests for the block-based (Clark) SSTA extension on the KLE basis."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.timing.block_ssta import (
+    BlockSSTA,
+    CanonicalDelay,
+    clark_max,
+)
+
+
+def canon(mean, coefs, local=0.0):
+    return CanonicalDelay(float(mean), np.asarray(coefs, dtype=float),
+                          float(local))
+
+
+# ---------------------------------------------------------------------------
+# CanonicalDelay arithmetic.
+# ---------------------------------------------------------------------------
+def test_canonical_variance_and_sigma():
+    c = canon(10.0, [3.0, 4.0], local=0.0)
+    assert c.variance == pytest.approx(25.0)
+    assert c.sigma == pytest.approx(5.0)
+
+
+def test_canonical_plus_and_shift():
+    a = canon(1.0, [1.0, 0.0], local=2.0)
+    b = canon(2.0, [0.0, 3.0], local=1.0)
+    s = a.plus(b).shifted(5.0)
+    assert s.mean == pytest.approx(8.0)
+    assert np.allclose(s.coefficients, [1.0, 3.0])
+    assert s.local_variance == pytest.approx(3.0)
+
+
+def test_canonical_covariance():
+    a = canon(0.0, [1.0, 2.0])
+    b = canon(0.0, [3.0, -1.0])
+    assert a.covariance_with(b) == pytest.approx(1.0)
+
+
+def test_canonical_sample_matches_moments(rng):
+    c = canon(5.0, [0.6, 0.8], local=0.75)
+    xi = rng.standard_normal((60000, 2))
+    values = c.sample(xi, rng)
+    assert values.mean() == pytest.approx(5.0, abs=0.03)
+    assert values.std() == pytest.approx(math.sqrt(1.0 + 0.75), abs=0.03)
+
+
+# ---------------------------------------------------------------------------
+# Clark's max.
+# ---------------------------------------------------------------------------
+def test_clark_max_dominant_input():
+    """When X >> Y, max ~= X."""
+    x = canon(100.0, [1.0, 0.0])
+    y = canon(0.0, [0.0, 1.0])
+    m = clark_max(x, y)
+    assert m.mean == pytest.approx(100.0, abs=1e-6)
+    assert np.allclose(m.coefficients, x.coefficients, atol=1e-6)
+
+
+def test_clark_max_symmetric_case_exact():
+    """Two iid N(0,1): E[max] = 1/sqrt(pi), Var = 1 - 1/pi (closed form)."""
+    x = canon(0.0, [1.0, 0.0])
+    y = canon(0.0, [0.0, 1.0])
+    m = clark_max(x, y)
+    assert m.mean == pytest.approx(1.0 / math.sqrt(math.pi), rel=1e-9)
+    assert m.variance == pytest.approx(1.0 - 1.0 / math.pi, rel=1e-9)
+
+
+def test_clark_max_perfectly_correlated_inputs():
+    x = canon(3.0, [1.0, 0.0])
+    y = canon(1.0, [1.0, 0.0])  # identical spread, lower mean
+    m = clark_max(x, y)
+    assert m.mean == pytest.approx(3.0)
+    assert np.allclose(m.coefficients, [1.0, 0.0])
+
+
+def test_clark_max_against_monte_carlo(rng):
+    x = canon(10.0, [2.0, 0.5], local=0.3)
+    y = canon(10.5, [0.5, 1.5], local=0.8)
+    m = clark_max(x, y)
+    xi = rng.standard_normal((200000, 2))
+    sx = x.sample(xi, rng)
+    sy = y.sample(xi, rng)
+    empirical = np.maximum(sx, sy)
+    assert m.mean == pytest.approx(empirical.mean(), rel=0.01)
+    assert m.sigma == pytest.approx(empirical.std(), rel=0.03)
+
+
+def test_clark_max_local_variance_nonnegative():
+    x = canon(0.0, [1.0], local=0.0)
+    y = canon(0.0, [-1.0], local=0.0)  # anticorrelated
+    m = clark_max(x, y)
+    assert m.local_variance >= 0.0
+    assert m.variance >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Full block SSTA vs Monte Carlo.
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def block_result(c880, c880_placement, gaussian_kle):
+    return BlockSSTA(c880, c880_placement, gaussian_kle, r=20).run()
+
+
+def test_block_ssta_runs_and_reports(block_result):
+    assert block_result.mean_worst_delay() > 0.0
+    assert block_result.std_worst_delay() > 0.0
+    assert len(block_result.end_arrivals) > 0
+
+
+def test_block_ssta_matches_mc_reference(
+    c880, c880_placement, gaussian_kernel, gaussian_kle, block_result
+):
+    from repro.timing.ssta import MonteCarloSSTA
+
+    harness = MonteCarloSSTA(
+        c880, c880_placement, gaussian_kernel, gaussian_kle, r=20
+    )
+    mc = harness.run_kle(4000, seed=0)
+    mean_err = abs(
+        block_result.mean_worst_delay() - mc.sta.mean_worst_delay()
+    ) / mc.sta.mean_worst_delay()
+    sigma_err = abs(
+        block_result.std_worst_delay() - mc.sta.std_worst_delay()
+    ) / mc.sta.std_worst_delay()
+    assert mean_err < 0.02   # first-order model: tight on the mean
+    assert sigma_err < 0.25  # looser on sigma (Clark + linearization)
+
+
+def test_block_ssta_quantile(block_result):
+    q99 = block_result.quantile_worst_delay(0.99)
+    expected = block_result.mean_worst_delay() + float(
+        norm.ppf(0.99)
+    ) * block_result.std_worst_delay()
+    assert q99 == pytest.approx(expected)
+    with pytest.raises(ValueError, match="quantile"):
+        block_result.quantile_worst_delay(1.5)
+
+
+def test_block_ssta_end_point_correlation_structure(block_result):
+    """End points share KLE RVs, so their canonical forms correlate —
+    correlation coefficients must be within [-1, 1] and mostly positive."""
+    canons = list(block_result.end_arrivals.values())[:6]
+    for i in range(len(canons)):
+        for j in range(i + 1, len(canons)):
+            cov = canons[i].covariance_with(canons[j])
+            denominator = canons[i].sigma * canons[j].sigma
+            if denominator > 0:
+                rho = cov / denominator
+                assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+
+def test_block_ssta_deterministic(c880, c880_placement, gaussian_kle):
+    a = BlockSSTA(c880, c880_placement, gaussian_kle, r=10).run()
+    b = BlockSSTA(c880, c880_placement, gaussian_kle, r=10).run()
+    assert a.mean_worst_delay() == pytest.approx(b.mean_worst_delay())
+    assert a.std_worst_delay() == pytest.approx(b.std_worst_delay())
+
+
+def test_block_ssta_default_r_uses_criterion(c880, c880_placement, gaussian_kle):
+    engine = BlockSSTA(c880, c880_placement, gaussian_kle)
+    assert engine.r["L"] == gaussian_kle.select_truncation()
+
+
+def test_block_ssta_validation(c880, c880_placement, gaussian_kle):
+    with pytest.raises(ValueError, match="invalid r"):
+        BlockSSTA(c880, c880_placement, gaussian_kle, r=100000)
+    with pytest.raises(ValueError, match="missing KLE"):
+        BlockSSTA(c880, c880_placement, {"L": gaussian_kle})
+
+
+def test_block_ssta_sequential_circuit(gaussian_kle):
+    from repro.circuit.generate import generate_circuit
+    from repro.place.placer import place_netlist
+
+    netlist = generate_circuit("seqb", 150, 10, 6, num_dffs=25, seed=4)
+    placement = place_netlist(netlist, (-1, -1, 1, 1), seed=0)
+    result = BlockSSTA(netlist, placement, gaussian_kle, r=10).run()
+    assert result.mean_worst_delay() > 0.0
+    # DFF data inputs appear among the end points.
+    dff_inputs = {g.inputs[0] for g in netlist.sequential_gates()}
+    assert dff_inputs & set(result.end_arrivals)

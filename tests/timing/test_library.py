@@ -1,0 +1,125 @@
+"""Tests for the synthetic 90nm cell library."""
+
+import numpy as np
+import pytest
+
+from repro.timing.library import (
+    STATISTICAL_PARAMETERS,
+    CellLibrary,
+    GateTimingModel,
+    Technology,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return CellLibrary()
+
+
+def test_statistical_parameter_order():
+    assert STATISTICAL_PARAMETERS == ("L", "W", "Vt", "tox")
+
+
+def test_all_netlist_types_characterized(library):
+    from repro.circuit.netlist import ALL_GATE_TYPES
+
+    for gate_type in ALL_GATE_TYPES:
+        model = library.model_for(gate_type, 2 if gate_type not in
+                                  ("NOT", "BUFF", "DFF") else 1)
+        assert model.d0 > 0.0
+        assert model.input_cap_ff > 0.0
+
+
+def test_direction_unit_norm(library):
+    for gate_type in library.gate_types:
+        model = library.model_for(gate_type, 2)
+        assert np.linalg.norm(model.direction) == pytest.approx(1.0)
+
+
+def test_direction_physics_signs(library):
+    """Delay grows with L, Vt, tox and shrinks with W."""
+    for gate_type in library.gate_types:
+        model = library.model_for(gate_type, 2)
+        l, w, vt, tox = model.direction
+        assert l > 0 and vt > 0 and tox > 0 and w < 0
+
+
+def test_nominal_delay_monotone_in_load_and_slew(library):
+    model = library.model_for("NAND", 2)
+    assert model.nominal_delay(50.0, 20.0) < model.nominal_delay(50.0, 40.0)
+    assert model.nominal_delay(20.0, 20.0) < model.nominal_delay(80.0, 20.0)
+
+
+def test_statistical_scale_properties(library):
+    model = library.model_for("NAND", 2)
+    u = np.array([-3.0, 0.0, 3.0])
+    scale = model.statistical_scale(u)
+    assert scale[1] == pytest.approx(1.0)
+    assert scale[2] > 1.0  # slow corner
+    assert scale[0] < 1.0  # fast corner
+    assert np.all(scale > 0.0)  # clipped positive even at extreme u
+
+
+def test_statistical_scale_quadratic_term(library):
+    """k2 > 0 makes the scale asymmetric: slow corner further from nominal."""
+    model = library.model_for("NAND", 2)
+    up = float(model.statistical_scale(np.array([3.0]))[0])
+    down = float(model.statistical_scale(np.array([-3.0]))[0])
+    assert (up - 1.0) > (1.0 - down)
+
+
+def test_fanin_derating(library):
+    two = library.model_for("NAND", 2)
+    four = library.model_for("NAND", 4)
+    assert four.d0 > two.d0
+    assert four.input_cap_ff > two.input_cap_ff
+    assert four.direction is two.direction or np.allclose(
+        four.direction, two.direction
+    )
+
+
+def test_fanin_one_or_two_not_derated(library):
+    assert library.model_for("NAND", 2).d0 == library.model_for("NAND", 2).d0
+    inv1 = library.model_for("NOT", 1)
+    assert inv1.d0 == pytest.approx(12.0)
+
+
+def test_model_cache_returns_same_object(library):
+    assert library.model_for("NOR", 3) is library.model_for("NOR", 3)
+
+
+def test_unknown_type_raises(library):
+    with pytest.raises(KeyError, match="no model"):
+        library.model_for("MUX", 2)
+
+
+def test_input_cap_helper(library):
+    assert library.input_cap("XOR", 2) == pytest.approx(3.0)
+
+
+def test_technology_unit_conversion():
+    tech = Technology(die_side_um=1000.0)
+    # Normalized die side is 2.0 -> full side = 1000 um.
+    assert tech.normalized_to_um(2.0) == pytest.approx(1000.0)
+    assert tech.normalized_to_um(0.5) == pytest.approx(250.0)
+
+
+def test_gate_model_validation():
+    with pytest.raises(ValueError, match="direction"):
+        GateTimingModel(
+            "NAND", 1, 0, 0, 1, 0, 0, 1, 0.1, 0.01, 0.1, 0.01,
+            direction=np.zeros(3),
+        )
+    with pytest.raises(ValueError, match="nonzero"):
+        GateTimingModel(
+            "NAND", 1, 0, 0, 1, 0, 0, 1, 0.1, 0.01, 0.1, 0.01,
+            direction=np.zeros(4),
+        )
+
+
+def test_one_sigma_delay_variation_plausible(library):
+    """±1σ parameter shift moves gate delay by ~5–15 % (90nm-realistic)."""
+    for gate_type in ("NAND", "NOR", "XOR", "NOT"):
+        model = library.model_for(gate_type, 2)
+        shift = float(model.statistical_scale(np.array([1.0]))[0]) - 1.0
+        assert 0.04 < shift < 0.15

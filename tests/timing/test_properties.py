@@ -1,0 +1,135 @@
+"""Property-based tests on timing primitives (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timing.block_ssta import CanonicalDelay, clark_max
+from repro.timing.wire import RCTree, bakoglu_slew, peri_slew
+
+positive = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+nonneg = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+coef = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+@given(nonneg, nonneg)
+@settings(max_examples=60, deadline=None)
+def test_peri_slew_bounds_property(slew_in, elmore):
+    """PERI output is bounded below by both inputs and above by their sum."""
+    out = float(peri_slew(slew_in, elmore))
+    step = bakoglu_slew(elmore)
+    assert out >= max(slew_in, step) - 1e-9
+    assert out <= slew_in + step + 1e-9
+
+
+@given(st.lists(st.tuples(positive, nonneg), min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_elmore_chain_monotone_property(segments):
+    """In an RC chain, Elmore delay is nondecreasing along the chain."""
+    tree = RCTree()
+    parent = "root"
+    names = []
+    for index, (resistance, capacitance) in enumerate(segments):
+        name = f"n{index}"
+        tree.add_node(name, parent, resistance, capacitance)
+        names.append(name)
+        parent = name
+    delays = tree.elmore_delays()
+    values = [delays[name] for name in names]
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+@given(st.lists(st.tuples(positive, positive), min_size=2, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_elmore_superposition_property(segments):
+    """Adding capacitance anywhere never decreases any Elmore delay."""
+    def build(extra):
+        tree = RCTree()
+        parent = "root"
+        for index, (resistance, capacitance) in enumerate(segments):
+            tree.add_node(f"n{index}", parent, resistance, capacitance)
+            parent = f"n{index}"
+        if extra:
+            tree.add_cap("n0", 5.0)
+        return tree.elmore_delays()
+
+    base = build(False)
+    loaded = build(True)
+    for name in base:
+        assert loaded[name] >= base[name] - 1e-12
+
+
+canonical = st.tuples(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    st.lists(coef, min_size=2, max_size=2),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+
+
+def _to_canonical(data):
+    mean, coefs, local = data
+    return CanonicalDelay(mean, np.asarray(coefs), local)
+
+
+@given(canonical, canonical)
+@settings(max_examples=60, deadline=None)
+def test_clark_max_dominates_means_property(a_data, b_data):
+    """E[max(X, Y)] >= max(E[X], E[Y]) (Jensen for the max)."""
+    a = _to_canonical(a_data)
+    b = _to_canonical(b_data)
+    m = clark_max(a, b)
+    assert m.mean >= max(a.mean, b.mean) - 1e-8
+
+
+@given(canonical, canonical)
+@settings(max_examples=60, deadline=None)
+def test_clark_max_variance_nonnegative_property(a_data, b_data):
+    m = clark_max(_to_canonical(a_data), _to_canonical(b_data))
+    assert m.variance >= -1e-12
+    assert m.local_variance >= -1e-12
+
+
+@given(canonical)
+@settings(max_examples=40, deadline=None)
+def test_clark_max_idempotent_without_local_property(data):
+    """max(X, X) = X when X has no local term (perfect correlation
+    short-circuit).  With a local term the two operands' residuals are
+    independent *by the model's semantics*, so the max legitimately
+    exceeds X — covered by the next test."""
+    mean, coefs, _local = data
+    x = CanonicalDelay(mean, np.asarray(coefs), 0.0)
+    m = clark_max(x, x)
+    assert m.mean == pytest.approx(x.mean, abs=1e-9)
+    assert m.variance == pytest.approx(x.variance, rel=1e-6, abs=1e-9)
+
+
+def test_clark_max_local_terms_are_independent():
+    """Two forms with identical global parts but local variance behave as
+    distinct signals: E[max] = θ φ(0) = sqrt(2σ²_loc / π) above the mean."""
+    x = CanonicalDelay(0.0, np.zeros(2), 1.0)
+    m = clark_max(x, x)
+    assert m.mean == pytest.approx(math.sqrt(2.0) / math.sqrt(2 * math.pi),
+                                   rel=1e-9)
+
+
+@given(canonical, st.floats(min_value=-50, max_value=50, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_canonical_shift_invariance_property(data, offset):
+    """clark_max commutes with common deterministic shifts."""
+    x = _to_canonical(data)
+    y = CanonicalDelay(x.mean + 1.0, x.coefficients * 0.5, x.local_variance)
+    direct = clark_max(x.shifted(offset), y.shifted(offset))
+    shifted = clark_max(x, y).shifted(offset)
+    assert direct.mean == pytest.approx(shifted.mean, rel=1e-9, abs=1e-9)
+    assert direct.variance == pytest.approx(
+        shifted.variance, rel=1e-6, abs=1e-9
+    )
+
+
+@given(nonneg)
+@settings(max_examples=30, deadline=None)
+def test_bakoglu_linear_property(elmore):
+    assert bakoglu_slew(elmore) == pytest.approx(math.log(9.0) * elmore)

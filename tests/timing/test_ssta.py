@@ -1,0 +1,153 @@
+"""Tests for the Monte-Carlo SSTA harness (Algorithm 1 vs Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import GaussianKernel
+from repro.timing.ssta import MonteCarloSSTA, sigma_error_over_outputs
+
+
+@pytest.fixture(scope="module")
+def harness(c880, c880_placement, gaussian_kernel, gaussian_kle):
+    return MonteCarloSSTA(
+        c880, c880_placement, gaussian_kernel, gaussian_kle, r=20
+    )
+
+
+def test_reference_run(harness):
+    run = harness.run_reference(200, seed=0)
+    assert run.sta.num_samples == 200
+    assert run.sta.std_worst_delay() > 0.0
+    assert run.total_seconds > 0.0
+
+
+def test_kle_run(harness):
+    run = harness.run_kle(200, seed=0)
+    assert run.sta.num_samples == 200
+    assert run.sta.std_worst_delay() > 0.0
+
+
+def test_r_property(harness):
+    assert harness.r == 20
+
+
+def test_flows_statistically_agree(harness):
+    """The paper's core claim at small scale: both flows produce matching
+    delay statistics (within MC noise + discretization)."""
+    reference = harness.run_reference(3000, seed=1)
+    kle = harness.run_kle(3000, seed=2)
+    ref_mean = reference.sta.mean_worst_delay()
+    kle_mean = kle.sta.mean_worst_delay()
+    assert abs(kle_mean - ref_mean) / ref_mean < 0.01
+    ref_std = reference.sta.std_worst_delay()
+    kle_std = kle.sta.std_worst_delay()
+    assert abs(kle_std - ref_std) / ref_std < 0.15
+
+
+def test_compare_row_fields(harness):
+    row = harness.compare(300, seed=0, circuit_name="c880")
+    assert row.circuit == "c880"
+    assert row.num_gates == 383
+    assert row.num_samples == 300
+    assert row.r == 20
+    assert row.e_mu_percent >= 0.0
+    assert row.e_sigma_percent >= 0.0
+    assert row.speedup > 0.0
+    assert row.sigma_error_outputs_percent >= 0.0
+
+
+def test_e_mu_much_smaller_than_e_sigma_typically(harness):
+    """Means agree far more tightly than sigmas (Table 1 pattern)."""
+    row = harness.compare(2000, seed=3)
+    assert row.e_mu_percent < 1.0
+
+
+def test_single_kernel_broadcast(c880, c880_placement, gaussian_kle):
+    harness = MonteCarloSSTA(
+        c880, c880_placement, GaussianKernel(2.7), gaussian_kle, r=10
+    )
+    assert set(harness.kernels) == {"L", "W", "Vt", "tox"}
+    assert set(harness.kles) == {"L", "W", "Vt", "tox"}
+
+
+def test_per_parameter_kernel_mapping(c880, c880_placement, gaussian_kernel, gaussian_kle):
+    harness = MonteCarloSSTA(
+        c880,
+        c880_placement,
+        {"L": gaussian_kernel, "Vt": gaussian_kernel},
+        {"L": gaussian_kle, "Vt": gaussian_kle},
+        r=10,
+    )
+    run = harness.run_kle(50, seed=0)
+    assert set(run.sta.end_arrivals)  # runs fine with two parameters
+
+
+def test_kernel_mapping_validation(c880, c880_placement, gaussian_kernel, gaussian_kle):
+    with pytest.raises(ValueError, match="unknown statistical parameters"):
+        MonteCarloSSTA(
+            c880, c880_placement, {"Leff": gaussian_kernel}, gaussian_kle
+        )
+    with pytest.raises(ValueError, match="missing KLE"):
+        MonteCarloSSTA(
+            c880,
+            c880_placement,
+            {"L": gaussian_kernel, "W": gaussian_kernel},
+            {"L": gaussian_kle},
+        )
+
+
+def test_sigma_error_over_outputs_zero_for_identical(harness):
+    run = harness.run_reference(100, seed=5)
+    assert sigma_error_over_outputs(run.sta, run.sta) == 0.0
+
+
+def test_sigma_error_over_outputs_positive_for_different(harness):
+    a = harness.run_reference(400, seed=6)
+    b = harness.run_kle(400, seed=7)
+    err = sigma_error_over_outputs(a.sta, b.sta)
+    assert err > 0.0
+    assert err < 50.0
+
+
+def test_compare_deterministic(harness):
+    row1 = harness.compare(100, seed=9)
+    row2 = harness.compare(100, seed=9)
+    assert row1.e_sigma_percent == pytest.approx(row2.e_sigma_percent)
+    assert row1.reference_mean == pytest.approx(row2.reference_mean)
+
+
+# ---------------------------------------------------------------------------
+# Wire variation through both flows (extension).
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def wire_harness(c880, c880_placement, gaussian_kernel, gaussian_kle):
+    return MonteCarloSSTA(
+        c880, c880_placement, gaussian_kernel, gaussian_kle, r=20,
+        wire_sigma={"R": 0.10, "C": 0.08},
+    )
+
+
+def test_wire_variation_widens_distribution(harness, wire_harness):
+    without = harness.run_kle(1500, seed=20)
+    with_wires = wire_harness.run_kle(1500, seed=20)
+    assert with_wires.sta.std_worst_delay() > without.sta.std_worst_delay()
+
+
+def test_wire_variation_flows_still_agree(wire_harness):
+    """With wires varying in both flows, e_mu/e_sigma stay in band."""
+    row = wire_harness.compare(2000, seed=21)
+    assert row.e_mu_percent < 1.0
+    assert row.e_sigma_percent < 12.0
+
+
+def test_wire_sigma_validation(c880, c880_placement, gaussian_kernel, gaussian_kle):
+    with pytest.raises(ValueError, match="keys must be"):
+        MonteCarloSSTA(
+            c880, c880_placement, gaussian_kernel, gaussian_kle,
+            wire_sigma={"Rwire": 0.1},
+        )
+    with pytest.raises(ValueError, match="lie in"):
+        MonteCarloSSTA(
+            c880, c880_placement, gaussian_kernel, gaussian_kle,
+            wire_sigma={"R": 1.5},
+        )

@@ -1,0 +1,176 @@
+"""Tests for Elmore delay, PERI/Bakoglu slew, and the star wire model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.timing.library import Technology
+from repro.timing.wire import (
+    LN9,
+    RCTree,
+    bakoglu_slew,
+    peri_slew,
+    star_wire_model,
+)
+
+
+# ---------------------------------------------------------------------------
+# RCTree / Elmore.
+# ---------------------------------------------------------------------------
+def test_elmore_single_segment():
+    tree = RCTree()
+    tree.add_node("sink", "root", resistance_kohm=2.0, capacitance_ff=5.0)
+    assert tree.elmore_delay_to("sink") == pytest.approx(10.0)
+
+
+def test_elmore_ladder_textbook():
+    """Classic 2-segment ladder: t = R1(C1+C2) + R2 C2."""
+    tree = RCTree()
+    tree.add_node("n1", "root", 1.0, 3.0)
+    tree.add_node("n2", "n1", 2.0, 4.0)
+    delays = tree.elmore_delays()
+    assert delays["n1"] == pytest.approx(1.0 * (3.0 + 4.0))
+    assert delays["n2"] == pytest.approx(1.0 * 7.0 + 2.0 * 4.0)
+
+
+def test_elmore_branching_tree():
+    """A fork: each branch sees the shared trunk delay plus its own."""
+    tree = RCTree()
+    tree.add_node("trunk", "root", 1.0, 2.0)
+    tree.add_node("left", "trunk", 1.0, 3.0)
+    tree.add_node("right", "trunk", 2.0, 5.0)
+    delays = tree.elmore_delays()
+    trunk = 1.0 * (2.0 + 3.0 + 5.0)
+    assert delays["trunk"] == pytest.approx(trunk)
+    assert delays["left"] == pytest.approx(trunk + 1.0 * 3.0)
+    assert delays["right"] == pytest.approx(trunk + 2.0 * 5.0)
+
+
+def test_elmore_root_zero():
+    tree = RCTree()
+    tree.add_node("n1", "root", 1.0, 1.0)
+    assert tree.elmore_delays()["root"] == 0.0
+
+
+def test_add_cap_increases_upstream_delay():
+    tree = RCTree()
+    tree.add_node("n1", "root", 1.0, 1.0)
+    before = tree.elmore_delay_to("n1")
+    tree.add_cap("n1", 4.0)
+    assert tree.elmore_delay_to("n1") == pytest.approx(before + 4.0)
+
+
+def test_total_capacitance():
+    tree = RCTree()
+    tree.add_node("n1", "root", 1.0, 2.5)
+    tree.add_node("n2", "n1", 1.0, 1.5)
+    assert tree.total_capacitance() == pytest.approx(4.0)
+
+
+def test_rctree_validation():
+    tree = RCTree()
+    tree.add_node("n1", "root", 1.0, 1.0)
+    with pytest.raises(ValueError, match="duplicate"):
+        tree.add_node("n1", "root", 1.0, 1.0)
+    with pytest.raises(ValueError, match="unknown parent"):
+        tree.add_node("n2", "ghost", 1.0, 1.0)
+    with pytest.raises(ValueError, match=">= 0"):
+        tree.add_node("n3", "root", -1.0, 1.0)
+    with pytest.raises(KeyError, match="no RC node"):
+        tree.elmore_delay_to("ghost")
+
+
+# ---------------------------------------------------------------------------
+# Slew metrics.
+# ---------------------------------------------------------------------------
+def test_bakoglu_slew_is_ln9_times_elmore():
+    assert bakoglu_slew(10.0) == pytest.approx(math.log(9.0) * 10.0)
+    assert LN9 == pytest.approx(math.log(9.0))
+    with pytest.raises(ValueError):
+        bakoglu_slew(-1.0)
+
+
+def test_peri_slew_root_sum_square():
+    out = peri_slew(30.0, 10.0)
+    assert out == pytest.approx(math.hypot(30.0, LN9 * 10.0))
+
+
+def test_peri_slew_zero_wire_passthrough():
+    assert peri_slew(42.0, 0.0) == pytest.approx(42.0)
+
+
+def test_peri_slew_monotone_in_both_arguments():
+    assert peri_slew(30.0, 10.0) < peri_slew(40.0, 10.0)
+    assert peri_slew(30.0, 10.0) < peri_slew(30.0, 20.0)
+
+
+def test_peri_slew_vectorized():
+    slews = np.array([10.0, 20.0, 30.0])
+    out = peri_slew(slews, 5.0)
+    assert out.shape == (3,)
+    assert np.all(np.diff(out) > 0)
+
+
+# ---------------------------------------------------------------------------
+# Star wire model.
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tech():
+    return Technology(
+        die_side_um=1000.0,
+        wire_res_kohm_per_um=3.0e-4,
+        wire_cap_ff_per_um=0.1,
+    )
+
+
+def test_star_model_total_cap(tech):
+    model = star_wire_model(
+        (0.0, 0.0), [(0.2, 0.0)], [2.0], tech
+    )
+    # HPWL 0.2 normalized = 100 um -> wire cap 10 fF + 2 fF pin.
+    assert model.total_cap_ff == pytest.approx(12.0)
+
+
+def test_star_model_sink_delay_scales_with_distance(tech):
+    model = star_wire_model(
+        (0.0, 0.0), [(0.1, 0.0), (0.8, 0.0)], [2.0, 2.0], tech
+    )
+    assert model.sink_delay_ps[1] > model.sink_delay_ps[0]
+    assert np.allclose(model.sink_slew_step_ps, LN9 * model.sink_delay_ps)
+
+
+def test_star_model_no_sinks(tech):
+    model = star_wire_model((0.0, 0.0), [], [], tech)
+    assert model.total_cap_ff == 0.0
+    assert model.sink_delay_ps.shape == (0,)
+
+
+def test_star_model_explicit_hpwl_overrides(tech):
+    implicit = star_wire_model((0.0, 0.0), [(0.5, 0.5)], [1.0], tech)
+    explicit = star_wire_model(
+        (0.0, 0.0), [(0.5, 0.5)], [1.0], tech, hpwl_normalized=2.0
+    )
+    assert explicit.total_cap_ff > implicit.total_cap_ff
+
+
+def test_star_model_validation(tech):
+    with pytest.raises(ValueError, match="one pin cap per sink"):
+        star_wire_model((0, 0), [(0.1, 0.1)], [], tech)
+
+
+def test_star_model_elmore_consistent_with_rctree(tech):
+    """The star formula equals an explicit one-branch RC tree."""
+    sink = (0.4, 0.0)
+    pin_cap = 3.0
+    model = star_wire_model((0.0, 0.0), [sink], [pin_cap], tech)
+    length_um = tech.normalized_to_um(0.4)
+    tree = RCTree()
+    # Distributed RC modeled as R with C/2 at each end (pi-model): Elmore
+    # through R sees far-end C/2 + pin.
+    wire_c = length_um * tech.wire_cap_ff_per_um
+    tree.add_node("sink", "root", length_um * tech.wire_res_kohm_per_um,
+                  wire_c / 2.0 + pin_cap)
+    assert model.sink_delay_ps[0] == pytest.approx(
+        tree.elmore_delay_to("sink")
+    )

@@ -1,0 +1,59 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+def test_as_generator_from_int():
+    a = as_generator(7)
+    b = as_generator(7)
+    assert a.standard_normal(5).tolist() == b.standard_normal(5).tolist()
+
+
+def test_as_generator_passthrough():
+    rng = np.random.default_rng(0)
+    assert as_generator(rng) is rng
+
+
+def test_as_generator_none_gives_fresh_stream():
+    a = as_generator(None).standard_normal(8)
+    b = as_generator(None).standard_normal(8)
+    assert not np.array_equal(a, b)
+
+
+def test_as_generator_seed_sequence():
+    seq = np.random.SeedSequence(3)
+    a = as_generator(seq).standard_normal(4)
+    b = as_generator(np.random.SeedSequence(3)).standard_normal(4)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_generators_independent_and_reproducible():
+    first = spawn_generators(11, 3)
+    second = spawn_generators(11, 3)
+    draws_first = [g.standard_normal(6) for g in first]
+    draws_second = [g.standard_normal(6) for g in second]
+    for a, b in zip(draws_first, draws_second):
+        assert np.array_equal(a, b)
+    # Streams differ from each other.
+    assert not np.array_equal(draws_first[0], draws_first[1])
+
+
+def test_spawn_generators_from_generator_consumes_state():
+    rng = np.random.default_rng(5)
+    first = spawn_generators(rng, 2)
+    second = spawn_generators(rng, 2)
+    a = first[0].standard_normal(4)
+    b = second[0].standard_normal(4)
+    assert not np.array_equal(a, b)
+
+
+def test_spawn_generators_count_zero():
+    assert spawn_generators(1, 0) == []
+
+
+def test_spawn_generators_negative_count():
+    with pytest.raises(ValueError, match="non-negative"):
+        spawn_generators(1, -1)
