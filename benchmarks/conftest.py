@@ -10,11 +10,24 @@ shared across modules; knobs come from the environment (see
 import pytest
 
 from repro.experiments.common import get_context
+from repro.utils.artifact_cache import cache_stats, format_cache_stats
 
 
 @pytest.fixture(scope="session")
 def context():
     return get_context()
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print artifact-cache hit/miss/corruption counters after a bench run.
+
+    Makes cold-vs-warm cache state visible: a second run of e.g.
+    ``test_bench_table1.py`` should show KLE and placement hits instead of
+    stores.
+    """
+    if cache_stats():
+        terminalreporter.write_line("")
+        terminalreporter.write_line(format_cache_stats())
 
 
 @pytest.fixture(scope="session")

@@ -53,7 +53,13 @@ from repro.core.quadrature import (
     TriangleRule,
     get_rule,
 )
-from repro.core.galerkin import GalerkinKLE, assemble_galerkin_matrix, solve_kle
+from repro.core.galerkin import (
+    GalerkinKLE,
+    assemble_galerkin_matrix,
+    kle_cache_key,
+    mesh_fingerprint,
+    solve_kle,
+)
 from repro.core.galerkin_linear import (
     LinearKLEResult,
     assemble_linear_galerkin_matrix,
@@ -121,6 +127,8 @@ __all__ = [
     # galerkin / kle
     "GalerkinKLE",
     "assemble_galerkin_matrix",
+    "kle_cache_key",
+    "mesh_fingerprint",
     "solve_kle",
     "LinearKLEResult",
     "assemble_linear_galerkin_matrix",

@@ -18,6 +18,7 @@ ablation.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Union
 
 import numpy as np
@@ -26,7 +27,12 @@ from repro.core.kernels import CovarianceKernel
 from repro.core.kle import KLEResult
 from repro.core.quadrature import CENTROID_RULE, TriangleRule, get_rule
 from repro.mesh.mesh import TriangleMesh
+from repro.utils.artifact_cache import ArtifactCache, get_cache
 from repro.utils.linalg import symmetric_generalized_eigh
+
+#: Application schema tag of cached eigensolves; bump to invalidate old
+#: entries when the solver's numerical behavior changes.
+KLE_CACHE_SCHEMA = "kle-eigensolve-v1"
 
 
 def assemble_galerkin_matrix(
@@ -150,6 +156,56 @@ class GalerkinKLE:
         )
 
 
+def mesh_fingerprint(mesh: TriangleMesh) -> str:
+    """SHA-256 digest of a mesh's exact geometry and connectivity.
+
+    Two meshes share a fingerprint iff their vertex coordinates and
+    triangle index arrays are bitwise identical — the right equivalence for
+    keying cached eigensolves, since the Galerkin matrix is a pure function
+    of those arrays (plus the kernel).
+    """
+    digest = hashlib.sha256()
+    vertices = np.ascontiguousarray(mesh.vertices, dtype=np.float64)
+    triangles = np.ascontiguousarray(mesh.triangles, dtype=np.int64)
+    digest.update(str(vertices.shape).encode())
+    digest.update(vertices.tobytes())
+    digest.update(str(triangles.shape).encode())
+    digest.update(triangles.tobytes())
+    return digest.hexdigest()
+
+
+def kle_cache_key(
+    kernel: CovarianceKernel,
+    mesh: TriangleMesh,
+    *,
+    num_eigenpairs: Optional[int] = None,
+    rule: Union[str, TriangleRule] = CENTROID_RULE,
+    method: str = "dense",
+) -> str:
+    """Cache key of one eigensolve: (kernel, mesh, m, rule, method).
+
+    The kernel enters through its ``repr`` — every kernel class in
+    :mod:`repro.core.kernels` exposes its parameters there — and the mesh
+    through :func:`mesh_fingerprint`.  Kernels whose ``repr`` hides state
+    (e.g. a :class:`~repro.core.kernels.NonstationaryVarianceKernel`'s
+    ``sigma_fn``) should not be disk-cached; pass ``cache=None`` for those.
+    """
+    if isinstance(rule, str):
+        rule = get_rule(rule)
+    m = mesh.num_triangles if num_eigenpairs is None else int(num_eigenpairs)
+    fingerprint = "|".join(
+        [
+            f"kernel={kernel!r}",
+            f"mesh={mesh_fingerprint(mesh)}",
+            f"m={m}",
+            f"rule={rule.name}",
+            f"method={method}",
+        ]
+    )
+    digest = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
+    return f"kle_{digest[:24]}_m{m}"
+
+
 def solve_kle(
     kernel: CovarianceKernel,
     mesh: TriangleMesh,
@@ -157,8 +213,44 @@ def solve_kle(
     num_eigenpairs: Optional[int] = None,
     rule: Union[str, TriangleRule] = CENTROID_RULE,
     method: str = "dense",
+    cache: Union[ArtifactCache, str, None] = None,
 ) -> KLEResult:
-    """One-call convenience wrapper around :class:`GalerkinKLE`."""
-    return GalerkinKLE(kernel, mesh, rule=rule).solve(
-        num_eigenpairs=num_eigenpairs, method=method
+    """One-call convenience wrapper around :class:`GalerkinKLE`.
+
+    With ``cache`` given (a directory path or an
+    :class:`~repro.utils.artifact_cache.ArtifactCache`), the eigensolve is
+    memoized on disk keyed on :func:`kle_cache_key`, turning the dominant
+    setup cost of every bench/experiment run into a warm-cache load.
+    Corrupt or stale entries are quarantined and regenerated transparently.
+    """
+    solver = GalerkinKLE(kernel, mesh, rule=rule)
+    if cache is None:
+        return solver.solve(num_eigenpairs=num_eigenpairs, method=method)
+    if not isinstance(cache, ArtifactCache):
+        cache = get_cache("kle", str(cache))
+    key = kle_cache_key(
+        kernel, mesh, num_eigenpairs=num_eigenpairs, rule=solver.rule,
+        method=method,
     )
+    cached = cache.load(
+        key,
+        schema=KLE_CACHE_SCHEMA,
+        required_keys=("eigenvalues", "d_vectors"),
+    )
+    if cached is not None and cached["d_vectors"].shape == (
+        mesh.num_triangles,
+        len(cached["eigenvalues"]),
+    ):
+        return KLEResult(
+            eigenvalues=cached["eigenvalues"],
+            d_vectors=cached["d_vectors"],
+            mesh=mesh,
+            kernel=kernel,
+        )
+    result = solver.solve(num_eigenpairs=num_eigenpairs, method=method)
+    cache.store(
+        key,
+        {"eigenvalues": result.eigenvalues, "d_vectors": result.d_vectors},
+        schema=KLE_CACHE_SCHEMA,
+    )
+    return result

@@ -11,9 +11,15 @@ Environment knobs (all optional):
   (default 2000; the paper used 100K on a C++ timer).
 - ``REPRO_FULL``        — set to 1 to include the three largest circuits
   (16k–22k gates) whose reference Cholesky needs gigabytes.
-- ``REPRO_CACHE_DIR``   — on-disk cache directory for placements
-  (default: ``.repro_cache`` under the current directory; set empty to
-  disable).
+- ``REPRO_CACHE_DIR``   — on-disk artifact cache directory for placements
+  and KLE eigensolves (default: ``.repro_cache`` under the current
+  directory; set empty to disable).
+
+On-disk caching goes through :mod:`repro.utils.artifact_cache`: entries
+are checksummed and written atomically, and any corrupt entry (truncated,
+bit-flipped, version-skewed) is quarantined as ``*.corrupt`` and
+regenerated transparently — a poisoned cache directory can slow a run
+down, never break it.
 """
 
 from __future__ import annotations
@@ -32,6 +38,11 @@ from repro.core.kle import KLEResult
 from repro.mesh.mesh import TriangleMesh
 from repro.mesh.refine import paper_mesh
 from repro.place.placer import Placement, place_netlist
+from repro.utils.artifact_cache import ArtifactCache, get_cache
+
+#: Application schema tag of cached placements; bump when the placer or
+#: the stored layout changes meaning.
+PLACEMENT_CACHE_SCHEMA = "placement-v1"
 
 DIE_BOUNDS: Tuple[float, float, float, float] = (-1.0, -1.0, 1.0, 1.0)
 PLACEMENT_SEED = 2008  # DATE 2008
@@ -51,6 +62,22 @@ def cache_dir() -> Optional[str]:
     """On-disk cache directory, or ``None`` when disabled."""
     path = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
     return path or None
+
+
+def placement_cache() -> Optional[ArtifactCache]:
+    """The placement artifact cache, or ``None`` when caching is disabled."""
+    directory = cache_dir()
+    if directory is None:
+        return None
+    return get_cache("placements", directory)
+
+
+def kle_cache() -> Optional[ArtifactCache]:
+    """The KLE eigensolve artifact cache, or ``None`` when disabled."""
+    directory = cache_dir()
+    if directory is None:
+        return None
+    return get_cache("kle", directory)
 
 
 class ExperimentContext:
@@ -79,9 +106,15 @@ class ExperimentContext:
 
     @property
     def kle(self) -> KLEResult:
-        """200 leading eigenpairs of the experiment kernel on the paper mesh."""
+        """200 leading eigenpairs of the experiment kernel on the paper mesh.
+
+        Disk-cached (keyed on kernel fingerprint, mesh hash and eigenpair
+        count), so only the first process ever pays for the eigensolve.
+        """
         if self._kle is None:
-            self._kle = solve_kle(self.kernel, self.mesh, num_eigenpairs=200)
+            self._kle = solve_kle(
+                self.kernel, self.mesh, num_eigenpairs=200, cache=kle_cache()
+            )
         return self._kle
 
     def circuit(self, name: str) -> Netlist:
@@ -110,9 +143,13 @@ class ExperimentContext:
         *,
         num_eigenpairs: int = 200,
     ) -> KLEResult:
-        """Solve a KLE for a non-default kernel (no memoization)."""
+        """Solve a KLE for a non-default kernel (disk-cached, not memoized
+        in memory)."""
         return solve_kle(
-            kernel, mesh or self.mesh, num_eigenpairs=num_eigenpairs
+            kernel,
+            mesh or self.mesh,
+            num_eigenpairs=num_eigenpairs,
+            cache=kle_cache(),
         )
 
 
@@ -127,43 +164,43 @@ def get_context() -> ExperimentContext:
     return _GLOBAL_CONTEXT
 
 
-def _placement_cache_path(name: str) -> Optional[str]:
-    directory = cache_dir()
-    if directory is None:
-        return None
-    os.makedirs(directory, exist_ok=True)
-    return os.path.join(
-        directory, f"placement_{name}_seed{PLACEMENT_SEED}.npz"
-    )
+def _placement_cache_key(name: str) -> str:
+    return f"placement_{name}_seed{PLACEMENT_SEED}"
 
 
 def _load_cached_placement(name: str, netlist: Netlist) -> Optional[Placement]:
-    path = _placement_cache_path(name)
-    if path is None or not os.path.exists(path):
+    cache = placement_cache()
+    if cache is None:
         return None
-    try:
-        with np.load(path, allow_pickle=False) as data:
-            gate_xy = data["gate_xy"]
-            pad_names = [str(n) for n in data["pad_names"]]
-            pad_xy = data["pad_xy"]
-        if gate_xy.shape != (netlist.num_gates, 2):
-            return None
-        gate_positions = {
-            gate.name: (float(gate_xy[i, 0]), float(gate_xy[i, 1]))
-            for i, gate in enumerate(netlist.gates)
-        }
-        pad_positions = {
-            pad: (float(xy[0]), float(xy[1]))
-            for pad, xy in zip(pad_names, pad_xy)
-        }
-        return Placement(netlist, DIE_BOUNDS, gate_positions, pad_positions)
-    except (OSError, KeyError, ValueError):
+    # The cache layer absorbs every decode failure (``BadZipFile``,
+    # ``zlib.error``, checksum/version skew, …) by quarantining the entry
+    # and reporting a miss, so a poisoned cache dir never aborts a run.
+    arrays = cache.load(
+        _placement_cache_key(name),
+        schema=PLACEMENT_CACHE_SCHEMA,
+        required_keys=("gate_xy", "pad_names", "pad_xy"),
+    )
+    if arrays is None:
         return None
+    gate_xy = arrays["gate_xy"]
+    pad_names = [str(n) for n in arrays["pad_names"]]
+    pad_xy = arrays["pad_xy"]
+    if gate_xy.shape != (netlist.num_gates, 2):
+        return None  # stale entry for a different netlist revision
+    gate_positions = {
+        gate.name: (float(gate_xy[i, 0]), float(gate_xy[i, 1]))
+        for i, gate in enumerate(netlist.gates)
+    }
+    pad_positions = {
+        pad: (float(xy[0]), float(xy[1]))
+        for pad, xy in zip(pad_names, pad_xy)
+    }
+    return Placement(netlist, DIE_BOUNDS, gate_positions, pad_positions)
 
 
 def _store_cached_placement(name: str, placement: Placement) -> None:
-    path = _placement_cache_path(name)
-    if path is None:
+    cache = placement_cache()
+    if cache is None:
         return
     gate_xy = placement.gate_locations()
     pad_names = np.array(list(placement.pad_positions), dtype=str)
@@ -171,9 +208,8 @@ def _store_cached_placement(name: str, placement: Placement) -> None:
         [placement.pad_positions[n] for n in placement.pad_positions],
         dtype=float,
     ).reshape(-1, 2)
-    try:
-        np.savez_compressed(
-            path, gate_xy=gate_xy, pad_names=pad_names, pad_xy=pad_xy
-        )
-    except OSError:
-        pass  # cache is best-effort
+    cache.store(
+        _placement_cache_key(name),
+        {"gate_xy": gate_xy, "pad_names": pad_names, "pad_xy": pad_xy},
+        schema=PLACEMENT_CACHE_SCHEMA,
+    )

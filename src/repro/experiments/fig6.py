@@ -21,6 +21,7 @@ from repro.experiments.common import (
     DIE_BOUNDS,
     default_num_samples,
     get_context,
+    kle_cache,
 )
 from repro.field.sampling import CholeskySampleGenerator, KLESampleGenerator
 from repro.mesh.refine import refine_to_triangle_count
@@ -127,7 +128,9 @@ def fig6b_error_vs_n(
     for index, n in enumerate(n_values):
         mesh = refine_to_triangle_count(xmin, ymin, xmax, ymax, int(n))
         num_pairs = min(max(4 * r, 50), mesh.num_triangles)
-        kle = solve_kle(context.kernel, mesh, num_eigenpairs=num_pairs)
+        kle = solve_kle(
+            context.kernel, mesh, num_eigenpairs=num_pairs, cache=kle_cache()
+        )
         effective_r = min(r, kle.num_eigenpairs)
         generator = KLESampleGenerator(
             {name: kle for name in STATISTICAL_PARAMETERS}, r=effective_r

@@ -1,7 +1,11 @@
-"""Mesh persistence: compact ``.npz`` plus Triangle-compatible text formats.
+"""Mesh persistence: checksummed ``.npz`` plus Triangle-compatible text.
 
-The text formats are Shewchuk's ``.node`` / ``.ele`` pair so meshes can be
-exchanged with the original *Triangle* tool chain the paper used.
+Binary meshes go through :mod:`repro.utils.artifact_cache`'s container
+format — an ``.npz`` payload wrapped in a version + SHA-256 header — so
+saves are atomic and a truncated or bit-flipped file is *detected* at load
+time instead of yielding a silently wrong triangulation.  The text formats
+are Shewchuk's ``.node`` / ``.ele`` pair so meshes can be exchanged with
+the original *Triangle* tool chain the paper used.
 """
 
 from __future__ import annotations
@@ -12,17 +16,46 @@ from typing import Tuple
 import numpy as np
 
 from repro.mesh.mesh import TriangleMesh
+from repro.utils.artifact_cache import (
+    CorruptArtifactError,
+    read_artifact,
+    write_artifact,
+)
+
+#: Application schema tag of persisted meshes.
+MESH_SCHEMA = "mesh-v1"
 
 
 def save_mesh_npz(mesh: TriangleMesh, path: str) -> None:
-    """Save a mesh to a single ``.npz`` file."""
-    np.savez_compressed(path, vertices=mesh.vertices, triangles=mesh.triangles)
+    """Save a mesh to a single checksummed ``.npz`` container file.
+
+    The write is atomic (temp file + ``os.replace``), so a crash mid-save
+    leaves either the previous file or the complete new one.
+    """
+    write_artifact(
+        path,
+        {"vertices": mesh.vertices, "triangles": mesh.triangles},
+        schema=MESH_SCHEMA,
+    )
 
 
 def load_mesh_npz(path: str) -> TriangleMesh:
-    """Load a mesh previously saved with :func:`save_mesh_npz`."""
-    with np.load(path) as data:
-        return TriangleMesh(data["vertices"], data["triangles"])
+    """Load a mesh previously saved with :func:`save_mesh_npz`.
+
+    Verifies the container checksum and raises
+    :class:`~repro.utils.artifact_cache.CorruptArtifactError` on any
+    damage (truncation, bit-flips, version skew).  Plain ``.npz`` files
+    written by pre-container versions of this module still load.
+    """
+    try:
+        arrays = read_artifact(path, schema=MESH_SCHEMA)
+    except CorruptArtifactError as exc:
+        if exc.kind != "magic":
+            raise
+        # Legacy plain-.npz mesh from before the container format.
+        with np.load(path, allow_pickle=False) as data:
+            return TriangleMesh(data["vertices"], data["triangles"])
+    return TriangleMesh(arrays["vertices"], arrays["triangles"])
 
 
 def save_mesh_triangle_format(mesh: TriangleMesh, basename: str) -> Tuple[str, str]:

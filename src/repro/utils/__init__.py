@@ -1,5 +1,16 @@
-"""Shared utilities: reproducible RNG handling and linear-algebra helpers."""
+"""Shared utilities: RNG handling, linear algebra, and the artifact cache."""
 
+from repro.utils.artifact_cache import (
+    ArtifactCache,
+    CacheStats,
+    CorruptArtifactError,
+    cache_stats,
+    format_cache_stats,
+    get_cache,
+    read_artifact,
+    reset_cache_registry,
+    write_artifact,
+)
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.linalg import (
     cholesky_with_jitter,
@@ -9,10 +20,19 @@ from repro.utils.linalg import (
 )
 
 __all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "CorruptArtifactError",
     "as_generator",
-    "spawn_generators",
+    "cache_stats",
     "cholesky_with_jitter",
+    "format_cache_stats",
+    "get_cache",
     "is_positive_semidefinite",
     "nearest_psd",
+    "read_artifact",
+    "reset_cache_registry",
+    "spawn_generators",
     "symmetric_generalized_eigh",
+    "write_artifact",
 ]

@@ -1,0 +1,416 @@
+"""Versioned, atomic, corruption-quarantining artifact cache.
+
+The repo's expensive artifacts — 20k-gate placements, the paper mesh and
+the 200-eigenpair KLE solve (§5.1 setup) — are worth persisting across
+processes, but a cache that can silently serve a truncated or stale file
+is worse than no cache at all.  This module is the single caching
+substrate used by placements (:mod:`repro.experiments.common`), mesh
+persistence (:mod:`repro.mesh.io`) and the KLE eigensolve disk cache
+(:mod:`repro.core.galerkin`).  It provides:
+
+- **Atomic stores** — payloads are written to a temporary file in the
+  destination directory and published with :func:`os.replace`, so readers
+  never observe a half-written entry, even with concurrent writers.
+- **A versioned, checksummed container** — every file starts with a magic
+  tag, a format version, an application schema label and a SHA-256 digest
+  of the payload, so truncation, bit-flips and format skew are *detected*
+  on load instead of producing garbage arrays.
+- **Quarantine + regeneration** — any entry that fails to decode
+  (``zipfile.BadZipFile``, ``zlib.error``, ``OSError``, ``KeyError``,
+  ``ValueError``, bad checksum, version skew, …) is renamed to
+  ``<entry>.corrupt`` and reported as a miss; the caller regenerates and
+  the poisoned bytes are kept on disk for post-mortems.
+- **Observability** — per-cache hit/miss/corruption/store counters and
+  cumulative load/store timings, queryable via :func:`cache_stats` and
+  printed by the benchmark harness.
+
+On-disk container layout (little endian)::
+
+    offset 0   8 bytes   MAGIC  b"RPROART1"
+    offset 8   4 bytes   big-endian length L of the JSON header
+    offset 12  L bytes   JSON header: {"format": int, "schema": str,
+                          "sha256": hex digest, "payload_bytes": int}
+    offset 12+L          payload: a compressed ``.npz`` archive
+
+The payload stays a standard numpy archive so entries remain inspectable
+with ``np.load`` after stripping the header.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import struct
+import tempfile
+import threading
+import time
+import zipfile
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "CorruptArtifactError",
+    "cache_stats",
+    "format_cache_stats",
+    "get_cache",
+    "read_artifact",
+    "reset_cache_registry",
+    "write_artifact",
+]
+
+MAGIC = b"RPROART1"
+FORMAT_VERSION = 1
+
+# Decode failures that mark an entry as corrupt rather than crashing the
+# caller; ``zlib.error`` escapes numpy when a compressed member is
+# bit-flipped, ``BadZipFile`` when the archive structure itself is damaged.
+DECODE_ERRORS = (
+    zipfile.BadZipFile,
+    zlib.error,
+    OSError,
+    KeyError,
+    ValueError,
+    struct.error,
+)
+
+
+class CorruptArtifactError(Exception):
+    """A cache entry exists but cannot be trusted.
+
+    ``kind`` classifies the failure for diagnostics/tests: ``"magic"``,
+    ``"header"``, ``"version"``, ``"schema"``, ``"checksum"``,
+    ``"payload"`` or ``"missing-key"``.
+    """
+
+    def __init__(self, message: str, *, kind: str = "payload"):
+        super().__init__(message)
+        self.kind = kind
+
+
+@dataclass
+class CacheStats:
+    """Counters and cumulative timings for one named cache."""
+
+    hits: int = 0
+    misses: int = 0
+    corruptions: int = 0
+    stores: int = 0
+    store_failures: int = 0
+    load_seconds: float = 0.0
+    store_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot (what :func:`cache_stats` returns)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corruptions": self.corruptions,
+            "stores": self.stores,
+            "store_failures": self.store_failures,
+            "load_seconds": self.load_seconds,
+            "store_seconds": self.store_seconds,
+        }
+
+
+# ----------------------------------------------------------------------
+# Container encode / decode (pure byte-level helpers).
+# ----------------------------------------------------------------------
+def _pack_container(
+    arrays: Dict[str, np.ndarray],
+    *,
+    schema: str,
+    format_version: int = FORMAT_VERSION,
+) -> bytes:
+    """Serialize named arrays into the checksummed container format."""
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    payload = buffer.getvalue()
+    header = json.dumps(
+        {
+            "format": int(format_version),
+            "schema": str(schema),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    return MAGIC + struct.pack(">I", len(header)) + header + payload
+
+
+def _unpack_container(blob: bytes, *, schema: str) -> Dict[str, np.ndarray]:
+    """Decode and verify a container blob; raise on any inconsistency."""
+    if len(blob) < len(MAGIC) + 4 or not blob.startswith(MAGIC):
+        raise CorruptArtifactError(
+            "not an artifact container (bad or missing magic)", kind="magic"
+        )
+    header_len = struct.unpack(
+        ">I", blob[len(MAGIC) : len(MAGIC) + 4]
+    )[0]
+    header_start = len(MAGIC) + 4
+    header_end = header_start + header_len
+    if header_end > len(blob):
+        raise CorruptArtifactError("truncated header", kind="header")
+    try:
+        header = json.loads(blob[header_start:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptArtifactError(f"undecodable header: {exc}", kind="header")
+    if header.get("format") != FORMAT_VERSION:
+        raise CorruptArtifactError(
+            f"format version skew: file has {header.get('format')!r}, "
+            f"reader expects {FORMAT_VERSION}",
+            kind="version",
+        )
+    if header.get("schema") != schema:
+        raise CorruptArtifactError(
+            f"schema mismatch: file has {header.get('schema')!r}, "
+            f"caller expects {schema!r}",
+            kind="schema",
+        )
+    payload = blob[header_end:]
+    if len(payload) != header.get("payload_bytes"):
+        raise CorruptArtifactError(
+            f"payload length {len(payload)} != recorded "
+            f"{header.get('payload_bytes')!r}",
+            kind="checksum",
+        )
+    if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
+        raise CorruptArtifactError("payload checksum mismatch", kind="checksum")
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+            return {key: np.array(data[key]) for key in data.files}
+    except DECODE_ERRORS as exc:
+        raise CorruptArtifactError(f"undecodable payload: {exc}")
+
+
+def write_artifact(
+    path: str, arrays: Dict[str, np.ndarray], *, schema: str = ""
+) -> None:
+    """Atomically write named arrays to ``path`` in container format.
+
+    The blob is written to a temporary sibling file and published with
+    :func:`os.replace`, so a concurrent reader sees either the old entry or
+    the complete new one — never a torn write.  Raises ``OSError`` on I/O
+    failure (callers that treat storing as best-effort catch it).
+    """
+    blob = _pack_container(arrays, schema=schema)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def read_artifact(path: str, *, schema: str = "") -> Dict[str, np.ndarray]:
+    """Read, verify and decode a container written by :func:`write_artifact`.
+
+    Raises ``FileNotFoundError`` when the entry does not exist and
+    :class:`CorruptArtifactError` when it exists but fails any of the
+    magic / header / version / schema / checksum / decode checks.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    return _unpack_container(blob, schema=schema)
+
+
+# ----------------------------------------------------------------------
+# The cache proper.
+# ----------------------------------------------------------------------
+class ArtifactCache:
+    """A directory of checksummed artifacts with quarantine-on-corruption.
+
+    Entries are addressed by a caller-chosen ``key`` (mapped to
+    ``<directory>/<key>.npz``) and tagged with an application ``schema``
+    string (e.g. ``"placement-v1"``); bumping the schema string invalidates
+    old entries without deleting them.  All failure paths degrade to a
+    cache miss — :meth:`load` never raises because of bad bytes on disk.
+    """
+
+    def __init__(self, directory: str, *, name: str = "artifacts"):
+        self.directory = str(directory)
+        self.name = str(name)
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+
+    def path_for(self, key: str) -> str:
+        """Absolute path of the entry file backing ``key``."""
+        if not key or os.sep in key or key != os.path.basename(key):
+            raise ValueError(f"cache key must be a bare file stem, got {key!r}")
+        return os.path.join(self.directory, f"{key}.npz")
+
+    def load(
+        self,
+        key: str,
+        *,
+        schema: str = "",
+        required_keys: Iterable[str] = (),
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Load an entry, or ``None`` on miss/corruption (never raises).
+
+        A corrupt entry (truncated, bit-flipped, version- or schema-skewed,
+        or missing one of ``required_keys``) is quarantined by renaming it
+        to ``<entry>.corrupt`` and counted in ``stats.corruptions``, then
+        reported as a miss so the caller regenerates.
+        """
+        path = self.path_for(key)
+        start = time.perf_counter()
+        try:
+            arrays = read_artifact(path, schema=schema)
+            missing = [k for k in required_keys if k not in arrays]
+            if missing:
+                raise CorruptArtifactError(
+                    f"entry lacks required arrays {missing}", kind="missing-key"
+                )
+        except FileNotFoundError:
+            self._record(misses=1, load_seconds=time.perf_counter() - start)
+            return None
+        except (CorruptArtifactError, *DECODE_ERRORS):
+            self._quarantine(path)
+            self._record(
+                misses=1,
+                corruptions=1,
+                load_seconds=time.perf_counter() - start,
+            )
+            return None
+        self._record(hits=1, load_seconds=time.perf_counter() - start)
+        return arrays
+
+    def store(
+        self, key: str, arrays: Dict[str, np.ndarray], *, schema: str = ""
+    ) -> bool:
+        """Atomically store an entry; best-effort (returns ``False`` on I/O
+        failure instead of raising — a read-only cache dir must not break a
+        run)."""
+        path = self.path_for(key)
+        start = time.perf_counter()
+        try:
+            write_artifact(path, arrays, schema=schema)
+        except OSError:
+            self._record(
+                store_failures=1,
+                store_seconds=time.perf_counter() - start,
+            )
+            return False
+        self._record(stores=1, store_seconds=time.perf_counter() - start)
+        return True
+
+    def get_or_create(
+        self,
+        key: str,
+        factory: Callable[[], Dict[str, np.ndarray]],
+        *,
+        schema: str = "",
+        required_keys: Iterable[str] = (),
+    ) -> Dict[str, np.ndarray]:
+        """Load ``key``, regenerating (and storing) via ``factory`` on miss.
+
+        The one-call form of the cache protocol: every corruption scenario
+        ends with a fresh artifact from ``factory``, never an exception
+        from the cache layer.
+        """
+        cached = self.load(key, schema=schema, required_keys=required_keys)
+        if cached is not None:
+            return cached
+        arrays = factory()
+        self.store(key, arrays, schema=schema)
+        return arrays
+
+    # -- internals ------------------------------------------------------
+    def _quarantine(self, path: str) -> None:
+        """Move a poisoned entry aside as ``<entry>.corrupt`` (best-effort)."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            pass
+
+    def _record(self, **deltas: float) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self.stats, name, getattr(self.stats, name) + delta)
+
+    def __repr__(self) -> str:
+        return f"ArtifactCache({self.directory!r}, name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# Named-cache registry (one stats bucket per subsystem).
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, ArtifactCache] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_cache(name: str, directory: str) -> ArtifactCache:
+    """The process-wide cache registered under ``name``.
+
+    Creates it on first use.  If ``directory`` changed since registration
+    (e.g. ``REPRO_CACHE_DIR`` was repointed mid-process, as tests do), a
+    fresh cache — with fresh counters — replaces the old one.
+    """
+    with _REGISTRY_LOCK:
+        cache = _REGISTRY.get(name)
+        if cache is None or os.path.abspath(cache.directory) != os.path.abspath(
+            directory
+        ):
+            cache = ArtifactCache(directory, name=name)
+            _REGISTRY[name] = cache
+        return cache
+
+
+def cache_stats(name: Optional[str] = None) -> Dict[str, Dict[str, float]]:
+    """Counter snapshots of registered caches, keyed by cache name.
+
+    With ``name`` given, restricts to that cache (empty dict if it has not
+    been used yet).  Each snapshot has ``hits``, ``misses``,
+    ``corruptions``, ``stores``, ``store_failures``, ``load_seconds`` and
+    ``store_seconds``.
+    """
+    with _REGISTRY_LOCK:
+        items = (
+            _REGISTRY.items()
+            if name is None
+            else [(name, _REGISTRY[name])] if name in _REGISTRY else []
+        )
+        return {cache_name: cache.stats.as_dict() for cache_name, cache in items}
+
+
+def reset_cache_registry() -> None:
+    """Drop all registered caches (and their counters). Test isolation aid."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()
+
+
+def format_cache_stats() -> str:
+    """Human-readable one-line-per-cache stats table (printed by benches)."""
+    snapshot = cache_stats()
+    if not snapshot:
+        return "artifact cache: no caches used"
+    lines = ["artifact cache stats:"]
+    for name in sorted(snapshot):
+        stats = snapshot[name]
+        lines.append(
+            f"  {name:<12} hits={stats['hits']:<4.0f} "
+            f"misses={stats['misses']:<4.0f} "
+            f"corruptions={stats['corruptions']:<3.0f} "
+            f"stores={stats['stores']:<4.0f} "
+            f"load={stats['load_seconds'] * 1e3:.1f}ms "
+            f"store={stats['store_seconds'] * 1e3:.1f}ms"
+        )
+    return "\n".join(lines)

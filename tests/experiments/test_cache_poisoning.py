@@ -1,0 +1,103 @@
+"""Regression locks for the seed's poisoned-cache failure mode.
+
+The original seed shipped a ``.repro_cache/`` full of truncated ``.npz``
+files; ``np.load`` raised ``zipfile.BadZipFile`` out of
+``ExperimentContext.placement`` and seven tests died.  These tests seed a
+deliberately poisoned cache directory and assert the experiment drivers
+sail through it: quarantine, regenerate, re-store, and serve warm hits
+afterwards.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.galerkin import kle_cache_key, solve_kle
+from repro.experiments.common import (
+    ExperimentContext,
+    PLACEMENT_SEED,
+    cache_dir,
+    get_context,
+    kle_cache,
+    placement_cache,
+)
+from repro.utils.artifact_cache import get_cache, reset_cache_registry
+
+
+@pytest.fixture()
+def poisoned_cache_dir(tmp_path, monkeypatch):
+    """A REPRO_CACHE_DIR pre-seeded with corrupt entries (as the seed was)."""
+    directory = tmp_path / "poisoned_cache"
+    directory.mkdir()
+    # Truncated zip header — exactly the corruption the seed shipped.
+    for name in ("c17", "c880"):
+        entry = directory / f"placement_{name}_seed{PLACEMENT_SEED}.npz"
+        entry.write_bytes(b"PK\x03\x04 truncated beyond recovery")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(directory))
+    reset_cache_registry()
+    yield directory
+    reset_cache_registry()
+
+
+def test_cache_dir_honours_env(poisoned_cache_dir):
+    assert cache_dir() == str(poisoned_cache_dir)
+    assert placement_cache().directory == str(poisoned_cache_dir)
+    assert kle_cache().directory == str(poisoned_cache_dir)
+
+
+def test_placement_survives_poisoned_cache(poisoned_cache_dir):
+    """The seed bug: a corrupt placement entry must regenerate, not raise."""
+    context = ExperimentContext()
+    placement = context.placement("c17")
+    assert placement.gate_locations().shape[1] == 2
+    # The poisoned entry was quarantined and a valid one re-stored.
+    entry = poisoned_cache_dir / f"placement_c17_seed{PLACEMENT_SEED}.npz"
+    assert (poisoned_cache_dir / (entry.name + ".corrupt")).exists()
+    stats = placement_cache().stats
+    assert stats.corruptions >= 1
+    assert stats.stores >= 1
+    # A fresh context now gets a warm hit off the regenerated entry.
+    rebuilt = ExperimentContext().placement("c17")
+    assert np.allclose(rebuilt.gate_locations(), placement.gate_locations())
+    assert placement_cache().stats.hits >= 1
+
+
+def test_fig6_driver_survives_poisoned_cache(poisoned_cache_dir):
+    """End-to-end: the fig6 sweep driver used to die on the seed cache."""
+    from repro.experiments.fig6 import fig6a_error_vs_r
+
+    sweep = fig6a_error_vs_r(circuit="c17", r_values=(3,), num_samples=40, seed=0)
+    assert len(sweep.points) == 1
+    assert sweep.points[0].sigma_error_percent >= 0.0
+
+
+def test_table1_driver_survives_poisoned_cache(poisoned_cache_dir):
+    """End-to-end: the table1 driver used to die on the seed cache."""
+    from repro.experiments.table1 import format_table1, run_table1
+
+    rows = run_table1(circuits=["c880"], num_samples=40, seed=0)
+    assert format_table1(rows)
+
+
+def test_kle_disk_cache_poisoning_and_warm_hit(poisoned_cache_dir):
+    """The KLE eigensolve cache also quarantines and then serves hits."""
+    context = get_context()
+    kernel = context.kernel
+    from repro.mesh.structured import structured_rectangle_mesh
+
+    mesh = structured_rectangle_mesh(-1, -1, 1, 1, 5, 5)
+    cache = get_cache("kle", str(poisoned_cache_dir))
+    key = kle_cache_key(kernel, mesh, num_eigenpairs=8)
+    # Poison the exact entry this solve will look up.
+    with open(cache.path_for(key), "wb") as handle:
+        handle.write(b"\x00" * 100)
+
+    first = solve_kle(kernel, mesh, num_eigenpairs=8, cache=cache)
+    assert cache.stats.corruptions == 1
+    assert os.path.exists(cache.path_for(key) + ".corrupt")
+
+    second = solve_kle(kernel, mesh, num_eigenpairs=8, cache=cache)
+    assert cache.stats.hits == 1
+    assert np.allclose(first.eigenvalues, second.eigenvalues)
+    assert np.allclose(first.d_vectors, second.d_vectors)

@@ -1,0 +1,263 @@
+"""Fault-injection suite for the artifact cache.
+
+Deliberately truncates, bit-flips, version-skews and schema-corrupts cache
+entries and asserts the cache *always* degrades gracefully: every scenario
+ends in quarantine + regeneration, never an exception out of the cache
+layer.
+"""
+
+import json
+import os
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.utils.artifact_cache import (
+    FORMAT_VERSION,
+    MAGIC,
+    ArtifactCache,
+    CorruptArtifactError,
+    _pack_container,
+    cache_stats,
+    format_cache_stats,
+    get_cache,
+    read_artifact,
+    reset_cache_registry,
+    write_artifact,
+)
+
+PAYLOAD = {"values": np.arange(12.0).reshape(3, 4), "labels": np.array(["a", "b"])}
+SCHEMA = "test-v1"
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ArtifactCache(str(tmp_path), name="test")
+
+
+def fresh():
+    return {k: np.array(v) for k, v in PAYLOAD.items()}
+
+
+def assert_roundtrip(arrays):
+    assert np.array_equal(arrays["values"], PAYLOAD["values"])
+    assert [str(x) for x in arrays["labels"]] == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# Happy path.
+# ----------------------------------------------------------------------
+def test_store_load_roundtrip(cache):
+    assert cache.store("entry", fresh(), schema=SCHEMA)
+    arrays = cache.load("entry", schema=SCHEMA)
+    assert_roundtrip(arrays)
+    assert cache.stats.hits == 1
+    assert cache.stats.stores == 1
+    assert cache.stats.corruptions == 0
+
+
+def test_absent_key_is_a_plain_miss(cache):
+    assert cache.load("nothing", schema=SCHEMA) is None
+    assert cache.stats.misses == 1
+    assert cache.stats.corruptions == 0
+
+
+def test_bad_key_rejected(cache):
+    with pytest.raises(ValueError, match="bare file stem"):
+        cache.path_for("../escape")
+
+
+# ----------------------------------------------------------------------
+# Corruption scenarios.  Each must quarantine + regenerate, never raise.
+# ----------------------------------------------------------------------
+def corrupt_cases():
+    def truncate(path):
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+
+    def truncate_header(path):
+        open(path, "wb").write(open(path, "rb").read()[: len(MAGIC) + 2])
+
+    def bitflip(path):
+        blob = bytearray(open(path, "rb").read())
+        blob[-10] ^= 0xFF  # inside the compressed payload
+        open(path, "wb").write(bytes(blob))
+
+    def version_skew(path):
+        blob = _pack_container(fresh(), schema=SCHEMA, format_version=FORMAT_VERSION + 7)
+        open(path, "wb").write(blob)
+
+    def schema_skew(path):
+        blob = _pack_container(fresh(), schema="someone-elses-schema")
+        open(path, "wb").write(blob)
+
+    def missing_key(path):
+        blob = _pack_container({"values": PAYLOAD["values"]}, schema=SCHEMA)
+        open(path, "wb").write(blob)
+
+    def empty_file(path):
+        open(path, "wb").close()
+
+    def garbage(path):
+        open(path, "wb").write(b"this is not an artifact container at all")
+
+    def legacy_plain_npz(path):
+        np.savez_compressed(path.replace(".npz", ""), **fresh())
+
+    def header_garbage(path):
+        header = b"\xff\xfe not json"
+        open(path, "wb").write(MAGIC + struct.pack(">I", len(header)) + header)
+
+    return [
+        ("truncated", truncate),
+        ("truncated-header", truncate_header),
+        ("bit-flipped", bitflip),
+        ("version-skew", version_skew),
+        ("schema-skew", schema_skew),
+        ("missing-key", missing_key),
+        ("empty", empty_file),
+        ("garbage", garbage),
+        ("legacy-plain-npz", legacy_plain_npz),
+        ("header-garbage", header_garbage),
+    ]
+
+
+@pytest.mark.parametrize("label,poison", corrupt_cases(), ids=lambda c: c if isinstance(c, str) else "")
+def test_corruption_quarantines_and_regenerates(cache, label, poison):
+    cache.store("entry", fresh(), schema=SCHEMA)
+    poison(cache.path_for("entry"))
+
+    regenerated = {"count": 0}
+
+    def factory():
+        regenerated["count"] += 1
+        return fresh()
+
+    arrays = cache.get_or_create(
+        "entry", factory, schema=SCHEMA, required_keys=("values", "labels")
+    )
+    assert_roundtrip(arrays)
+    assert regenerated["count"] == 1, label
+    assert cache.stats.corruptions == 1, label
+    assert os.path.exists(cache.path_for("entry") + ".corrupt"), label
+    # The regenerated entry is valid: the next load is a clean hit.
+    assert cache.load("entry", schema=SCHEMA, required_keys=("values",)) is not None
+    assert cache.stats.hits >= 1
+
+
+def test_read_artifact_reports_failure_kind(tmp_path):
+    path = str(tmp_path / "a.npz")
+    write_artifact(path, fresh(), schema=SCHEMA)
+    blob = bytearray(open(path, "rb").read())
+    blob[-5] ^= 0x01
+    open(path, "wb").write(bytes(blob))
+    with pytest.raises(CorruptArtifactError) as excinfo:
+        read_artifact(path, schema=SCHEMA)
+    assert excinfo.value.kind == "checksum"
+
+
+def test_version_skew_kind(tmp_path):
+    path = str(tmp_path / "a.npz")
+    open(path, "wb").write(
+        _pack_container(fresh(), schema=SCHEMA, format_version=99)
+    )
+    with pytest.raises(CorruptArtifactError) as excinfo:
+        read_artifact(path, schema=SCHEMA)
+    assert excinfo.value.kind == "version"
+
+
+def test_checksum_matches_recorded_header(tmp_path):
+    """The header's digest really is the SHA-256 of the payload bytes."""
+    import hashlib
+
+    path = str(tmp_path / "a.npz")
+    write_artifact(path, fresh(), schema=SCHEMA)
+    blob = open(path, "rb").read()
+    header_len = struct.unpack(">I", blob[len(MAGIC) : len(MAGIC) + 4])[0]
+    header = json.loads(blob[len(MAGIC) + 4 : len(MAGIC) + 4 + header_len])
+    payload = blob[len(MAGIC) + 4 + header_len :]
+    assert header["sha256"] == hashlib.sha256(payload).hexdigest()
+    assert header["payload_bytes"] == len(payload)
+    assert header["format"] == FORMAT_VERSION
+
+
+# ----------------------------------------------------------------------
+# Atomicity / concurrency.
+# ----------------------------------------------------------------------
+def test_concurrent_writers_leave_one_complete_entry(cache):
+    """Racing writers must end with a complete entry and no temp litter."""
+    payload_a = {"values": np.zeros((64, 64)), "labels": np.array(["a"])}
+    payload_b = {"values": np.ones((64, 64)), "labels": np.array(["b"])}
+    errors = []
+
+    def writer(payload):
+        try:
+            for _ in range(20):
+                cache.store("entry", payload, schema=SCHEMA)
+        except Exception as exc:  # pragma: no cover - the assertion target
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, args=(p,))
+        for p in (payload_a, payload_b)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    arrays = cache.load("entry", schema=SCHEMA, required_keys=("values",))
+    assert arrays is not None  # never a torn write
+    assert str(arrays["labels"][0]) in ("a", "b")
+    leftovers = [f for f in os.listdir(cache.directory) if ".tmp" in f]
+    assert leftovers == []
+
+
+def test_store_is_best_effort_on_unusable_dir(tmp_path):
+    """A cache dir that cannot be created degrades to a no-op store.
+
+    (A plain file sits where the directory should be — works even when
+    the suite runs as root, unlike a chmod-based read-only check.)
+    """
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    cache = ArtifactCache(str(blocker), name="ro")
+    assert cache.store("entry", fresh(), schema=SCHEMA) is False
+    assert cache.stats.store_failures == 1
+    assert cache.stats.stores == 0
+
+
+# ----------------------------------------------------------------------
+# Registry + observability.
+# ----------------------------------------------------------------------
+def test_registry_and_stats(tmp_path):
+    reset_cache_registry()
+    try:
+        cache = get_cache("unit-test", str(tmp_path))
+        assert get_cache("unit-test", str(tmp_path)) is cache
+        cache.store("k", fresh(), schema=SCHEMA)
+        cache.load("k", schema=SCHEMA)
+        cache.load("absent", schema=SCHEMA)
+        snapshot = cache_stats("unit-test")["unit-test"]
+        assert snapshot["hits"] == 1
+        assert snapshot["misses"] == 1
+        assert snapshot["stores"] == 1
+        assert snapshot["load_seconds"] >= 0.0
+        assert "unit-test" in format_cache_stats()
+        # Repointing the directory (as REPRO_CACHE_DIR monkeypatching does)
+        # swaps in a fresh cache with fresh counters.
+        other = get_cache("unit-test", str(tmp_path / "elsewhere"))
+        assert other is not cache
+        assert cache_stats("unit-test")["unit-test"]["hits"] == 0
+    finally:
+        reset_cache_registry()
+
+
+def test_stats_snapshot_is_detached(cache):
+    cache.store("k", fresh(), schema=SCHEMA)
+    snapshot = cache.stats.as_dict()
+    cache.load("k", schema=SCHEMA)
+    assert snapshot["hits"] == 0
+    assert cache.stats.hits == 1
