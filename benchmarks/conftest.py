@@ -5,17 +5,94 @@ artifacts (paper mesh, 200-pair KLE, placements) are session-scoped and
 shared across modules; knobs come from the environment (see
 ``repro.experiments.common``): ``REPRO_SAMPLES`` (default 2000),
 ``REPRO_FULL=1`` for the 16k–22k-gate circuits.
+
+Every bench session also writes a machine-readable summary —
+``BENCH_pr2.json`` by default, overridable via ``REPRO_BENCH_JSON`` —
+with per-bench wall-clock, the engine configuration (mode, native-kernel
+availability, sample count) and the artifact-cache counters.  Benches can
+attach structured fields (circuit, N, measured speedup, …) through the
+``bench_record`` fixture.
 """
+
+import json
+import os
 
 import pytest
 
-from repro.experiments.common import get_context
+from repro.experiments.common import (
+    default_engine,
+    default_num_samples,
+    get_context,
+)
 from repro.utils.artifact_cache import cache_stats, format_cache_stats
+
+#: Per-test wall-clock of this session, nodeid → seconds (call phase).
+_DURATIONS = {}
+#: Structured records attached by benches via ``bench_record``.
+_EXTRA_RECORDS = []
 
 
 @pytest.fixture(scope="session")
 def context():
     return get_context()
+
+
+@pytest.fixture
+def bench_record(request):
+    """Attach structured fields to this bench's ``BENCH_pr2.json`` entry.
+
+    Call it with keyword fields, e.g.
+    ``bench_record(circuit="s15850", num_samples=2000, speedup=7.5)``;
+    fields merge into the record of the calling test.
+    """
+
+    def record(**fields):
+        _EXTRA_RECORDS.append(
+            {"test": request.node.nodeid, **fields}
+        )
+
+    return record
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call":
+        _DURATIONS[report.nodeid] = report.duration
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the session's benchmark summary JSON."""
+    if not _DURATIONS:
+        return
+    extras = {}
+    for entry in _EXTRA_RECORDS:
+        extras.setdefault(entry["test"], {}).update(
+            {k: v for k, v in entry.items() if k != "test"}
+        )
+    benches = []
+    for nodeid, seconds in _DURATIONS.items():
+        record = {"test": nodeid, "seconds": round(seconds, 4)}
+        record.update(extras.get(nodeid, {}))
+        benches.append(record)
+    try:
+        from repro.timing.native import load_kernel
+
+        native_available = load_kernel() is not None
+    except Exception:
+        native_available = False
+    payload = {
+        "engine": default_engine(),
+        "native_kernel": native_available,
+        "default_num_samples": default_num_samples(),
+        "benches": benches,
+        "cache_stats": cache_stats(),
+    }
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_pr2.json")
+    try:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError:
+        pass
 
 
 def pytest_terminal_summary(terminalreporter):

@@ -1,0 +1,89 @@
+"""Compiled STA engine vs the per-gate reference loop.
+
+The level-compiled engine (with its optional native kernel) is the PR's
+performance tentpole: on the largest default Table 1 circuit (s15850,
+9 772 gates) at N = 2000 it must be at least 5× faster than the
+reference engine while agreeing to floating-point round-off.  This bench
+measures both engines best-of-three on identical pre-generated samples —
+isolating the STA core from sample generation — checks the differential
+bound, and records the speedup into ``BENCH_pr2.json``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuit.benchmarks import get_spec
+from repro.experiments.table1 import default_table1_circuits
+from repro.timing.library import STATISTICAL_PARAMETERS
+from repro.timing.sta import STAEngine
+
+_ROUNDS = 3
+_NUM_SAMPLES = 2000
+
+
+def _largest_default_circuit() -> str:
+    return max(
+        default_table1_circuits(), key=lambda c: get_spec(c).num_gates
+    )
+
+
+@pytest.fixture(scope="module")
+def timed_engines(context):
+    """Best-of-three wall-clock of both engines on the largest circuit."""
+    circuit = _largest_default_circuit()
+    netlist = context.circuit(circuit)
+    placement = context.placement(circuit)
+    engine = STAEngine(netlist, placement)
+    rng = np.random.default_rng(2008)
+    samples = {
+        name: rng.standard_normal((_NUM_SAMPLES, netlist.num_gates)) * 0.1
+        for name in STATISTICAL_PARAMETERS
+    }
+    warmup = {name: m[:8] for name, m in samples.items()}
+    results = {}
+    timings = {}
+    for mode in ("compiled", "reference"):
+        engine.run(warmup, engine=mode)
+        best = np.inf
+        for _ in range(_ROUNDS):
+            start = time.perf_counter()
+            results[mode] = engine.run(samples, engine=mode)
+            best = min(best, time.perf_counter() - start)
+        timings[mode] = best
+    return circuit, engine, results, timings
+
+
+def test_compiled_engine_speedup(timed_engines, bench_record):
+    circuit, engine, results, timings = timed_engines
+    speedup = timings["reference"] / timings["compiled"]
+    bench_record(
+        circuit=circuit,
+        num_samples=_NUM_SAMPLES,
+        engine="compiled",
+        native_kernel=bool(engine.program.last_run_native),
+        compiled_seconds=round(timings["compiled"], 4),
+        reference_seconds=round(timings["reference"], 4),
+        speedup=round(speedup, 2),
+    )
+    assert speedup >= 5.0, (
+        f"compiled engine only {speedup:.2f}x faster than reference on "
+        f"{circuit} at N={_NUM_SAMPLES} "
+        f"(compiled {timings['compiled']:.3f}s, "
+        f"reference {timings['reference']:.3f}s)"
+    )
+
+
+def test_compiled_engine_matches_reference(timed_engines):
+    """The speedup is only meaningful if the answers agree."""
+    _, _, results, _ = timed_engines
+    ref = results["reference"]
+    cmp = results["compiled"]
+    np.testing.assert_allclose(
+        cmp.worst_delay, ref.worst_delay, rtol=1e-12, atol=1e-9
+    )
+    for net, values in ref.end_arrivals.items():
+        np.testing.assert_allclose(
+            cmp.end_arrivals[net], values, rtol=1e-12, atol=1e-9
+        )

@@ -60,9 +60,15 @@ def assemble_galerkin_matrix(
     if rule.num_points == 1:
         centroids = mesh.centroids
         areas = mesh.areas
-        kernel_matrix = kernel.matrix(centroids)
-        result = kernel_matrix * np.outer(areas, areas)
-        return 0.5 * (result + result.T)
+        # Scale rows and columns in place and symmetrize into the same
+        # buffer: the kernel matrix is the only (nt, nt) allocation, vs.
+        # four with ``outer`` + out-of-place symmetrization.
+        result = kernel.matrix(centroids)
+        result *= areas[:, None]
+        result *= areas
+        result += result.T
+        result *= 0.5
+        return result
 
     points, weights = rule.points_on_mesh(mesh)  # (nt*q, 2), (nt*q,)
     q = rule.num_points

@@ -53,6 +53,20 @@ def default_num_samples() -> int:
     return int(os.environ.get("REPRO_SAMPLES", "2000"))
 
 
+def default_engine() -> str:
+    """STA engine mode for experiment drivers (``REPRO_ENGINE``).
+
+    ``compiled`` (the default) or ``reference``; see
+    :class:`repro.timing.sta.STAEngine`.
+    """
+    engine = os.environ.get("REPRO_ENGINE", "compiled")
+    if engine not in ("compiled", "reference"):
+        raise ValueError(
+            f"REPRO_ENGINE must be 'compiled' or 'reference', got {engine!r}"
+        )
+    return engine
+
+
 def full_mode() -> bool:
     """Whether the gigabyte-scale largest circuits are enabled."""
     return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")

@@ -7,14 +7,22 @@ both MC flows with the shared Gaussian kernel for all four parameters
 The default circuit list stops at s15850 (9 772 gates); the three largest
 circuits need a multi-gigabyte reference covariance and are enabled with
 ``REPRO_FULL=1`` (see DESIGN.md §4, substitution 7).
+
+Rows are independent experiments, so :func:`run_table1` can fan them out
+over worker processes (``parallel=``).  Workers share the on-disk artifact
+caches — the KLE eigensolve, per-circuit placements and the native STA
+kernel build — so each expensive setup is paid once across the pool.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Union
 
 from repro.circuit.benchmarks import benchmark_names, get_spec
 from repro.experiments.common import (
+    default_engine,
     default_num_samples,
     full_mode,
     get_context,
@@ -40,17 +48,28 @@ def run_table1_row(
     num_samples: Optional[int] = None,
     seed: SeedLike = 0,
     r: Optional[int] = 25,
+    engine: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> SSTAComparison:
-    """Run the reference-vs-kernel comparison for one circuit."""
+    """Run the reference-vs-kernel comparison for one circuit.
+
+    ``engine`` picks the STA engine mode (default: ``REPRO_ENGINE`` or
+    ``"compiled"``); ``chunk_size`` streams both flows in bounded-memory
+    chunks (see :meth:`MonteCarloSSTA.compare`).
+    """
     context = get_context()
     if num_samples is None:
         num_samples = default_num_samples()
+    if engine is None:
+        engine = default_engine()
     netlist = context.circuit(circuit)
     placement = context.placement(circuit)
     ssta = MonteCarloSSTA(
-        netlist, placement, context.kernel, context.kle, r=r
+        netlist, placement, context.kernel, context.kle, r=r, engine=engine
     )
-    return ssta.compare(num_samples, seed=seed, circuit_name=circuit)
+    return ssta.compare(
+        num_samples, seed=seed, circuit_name=circuit, chunk_size=chunk_size
+    )
 
 
 def run_table1(
@@ -59,16 +78,47 @@ def run_table1(
     num_samples: Optional[int] = None,
     seed: SeedLike = 0,
     r: Optional[int] = 25,
+    engine: Optional[str] = None,
+    chunk_size: Optional[int] = None,
+    parallel: Union[None, bool, int] = None,
 ) -> List[SSTAComparison]:
-    """Regenerate Table 1 (or a subset of its rows)."""
+    """Regenerate Table 1 (or a subset of its rows).
+
+    ``parallel`` fans the independent per-circuit rows out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`: ``True`` uses one
+    worker per CPU, an integer caps the worker count, and ``None``/``1``
+    keeps the serial path.  Results are identical to a serial run (each
+    row seeds its own random streams from ``seed``) and arrive in input
+    order.
+    """
     if circuits is None:
         circuits = default_table1_circuits()
     for name in circuits:
         get_spec(name)  # fail fast on typos
-    return [
-        run_table1_row(name, num_samples=num_samples, seed=seed, r=r)
-        for name in circuits
-    ]
+    row_kwargs = dict(
+        num_samples=num_samples,
+        seed=seed,
+        r=r,
+        engine=engine,
+        chunk_size=chunk_size,
+    )
+    if parallel is True:
+        workers = os.cpu_count() or 1
+    elif parallel is None or parallel is False:
+        workers = 1
+    else:
+        workers = int(parallel)
+        if workers < 1:
+            raise ValueError(f"parallel must be >= 1, got {parallel}")
+    workers = min(workers, len(circuits)) if circuits else 1
+    if workers <= 1:
+        return [run_table1_row(name, **row_kwargs) for name in circuits]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(run_table1_row, name, **row_kwargs)
+            for name in circuits
+        ]
+        return [future.result() for future in futures]
 
 
 def format_table1(rows: Sequence[SSTAComparison]) -> str:

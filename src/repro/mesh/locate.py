@@ -45,16 +45,60 @@ class TriangleLocator:
         self._dx = max((xmax - self._xmin) / self._cells, 1e-300)
         self._dy = max((ymax - self._ymin) / self._cells, 1e-300)
 
+        # Bucket every triangle by the grid cells its bounding box
+        # touches, entirely in array arithmetic: clamp the box corners to
+        # cell coordinates, expand each box to its (nx × ny) cell block,
+        # then group the flat (cell, triangle) pairs with one stable sort
+        # — each bucket keeps ascending triangle order, exactly as the
+        # incremental append produced.
         buckets: Dict[Tuple[int, int], List[int]] = {}
-        tri_points = vertices[mesh.triangles]  # (nt, 3, 2)
-        mins = tri_points.min(axis=1)
-        maxs = tri_points.max(axis=1)
-        for tri_index in range(mesh.num_triangles):
-            cx0, cy0 = self._cell_of(mins[tri_index, 0], mins[tri_index, 1])
-            cx1, cy1 = self._cell_of(maxs[tri_index, 0], maxs[tri_index, 1])
-            for cx in range(cx0, cx1 + 1):
-                for cy in range(cy0, cy1 + 1):
-                    buckets.setdefault((cx, cy), []).append(tri_index)
+        num_triangles = mesh.num_triangles
+        if num_triangles:
+            tri_points = vertices[mesh.triangles]  # (nt, 3, 2)
+            mins = tri_points.min(axis=1)
+            maxs = tri_points.max(axis=1)
+            last = self._cells - 1
+            # Truncation (like ``_cell_of``) and floor differ only for
+            # fractional negative values, which the clip maps to 0 either
+            # way.
+            cx0 = np.clip(
+                ((mins[:, 0] - self._xmin) / self._dx).astype(np.int64),
+                0, last,
+            )
+            cy0 = np.clip(
+                ((mins[:, 1] - self._ymin) / self._dy).astype(np.int64),
+                0, last,
+            )
+            cx1 = np.clip(
+                ((maxs[:, 0] - self._xmin) / self._dx).astype(np.int64),
+                0, last,
+            )
+            cy1 = np.clip(
+                ((maxs[:, 1] - self._ymin) / self._dy).astype(np.int64),
+                0, last,
+            )
+            ny = cy1 - cy0 + 1
+            ncells = (cx1 - cx0 + 1) * ny
+            tri_rep = np.repeat(np.arange(num_triangles), ncells)
+            # Per-pair index inside its triangle's cell block, cx-major.
+            local = np.arange(int(ncells.sum())) - np.repeat(
+                np.cumsum(ncells) - ncells, ncells
+            )
+            ny_rep = ny[tri_rep]
+            cell_x = cx0[tri_rep] + local // ny_rep
+            cell_y = cy0[tri_rep] + local % ny_rep
+            key = cell_x * self._cells + cell_y
+            order = np.argsort(key, kind="stable")
+            sorted_key = key[order]
+            sorted_tri = tri_rep[order]
+            boundaries = np.flatnonzero(np.diff(sorted_key)) + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [sorted_key.size]))
+            for s, e in zip(starts, ends):
+                cell = int(sorted_key[s])
+                buckets[divmod(cell, self._cells)] = sorted_tri[
+                    s:e
+                ].tolist()
         self._buckets = buckets
 
     def _cell_of(self, x: float, y: float) -> Tuple[int, int]:

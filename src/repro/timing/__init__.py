@@ -14,11 +14,13 @@ from repro.timing.wire import (
     peri_slew,
     star_wire_model,
 )
-from repro.timing.sta import STAEngine, STAResult
+from repro.timing.sta import ENGINE_MODES, STAEngine, STAResult
+from repro.timing.compiled import CompiledTimingProgram
 from repro.timing.ssta import (
     MonteCarloSSTA,
     SSTAComparison,
     SSTARun,
+    StreamingSTAResult,
     sigma_error_over_outputs,
 )
 from repro.timing.block_ssta import (
@@ -50,11 +52,14 @@ __all__ = [
     "bakoglu_slew",
     "peri_slew",
     "star_wire_model",
+    "ENGINE_MODES",
     "STAEngine",
     "STAResult",
+    "CompiledTimingProgram",
     "MonteCarloSSTA",
     "SSTAComparison",
     "SSTARun",
+    "StreamingSTAResult",
     "sigma_error_over_outputs",
     "BlockSSTA",
     "BlockSSTAResult",

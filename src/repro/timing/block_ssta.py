@@ -218,17 +218,23 @@ class BlockSSTA:
             rows = kle_j.reconstruction_matrix(self.r[name])[tri]  # (Ng, r_j)
             self._blocks[name] = (offset, rows)
             offset += self.r[name]
+        # All gates' global-basis rows at once from the packed model
+        # columns (the same PackedGateModels the MC engine projects
+        # with): sensitivity[g] = [w_j(g) · D_λ-row_j(g)]_j, (Ng, R).
+        packed = self._engine._packed_models
+        self._sensitivity = np.zeros(
+            (netlist.num_gates, self.num_global_rvs)
+        )
+        for name in self.parameters:
+            offset, rows = self._blocks[name]
+            weights = packed.parameter_weights(name)
+            self._sensitivity[:, offset : offset + self.r[name]] = (
+                weights[:, None] * rows
+            )
 
     def _gate_sensitivity_row(self, gate_name: str) -> np.ndarray:
         """Global-basis row of ``u = wᵀ p`` for one gate: (R,)."""
-        model = self._engine._models[gate_name]
-        g = self._gate_index[gate_name]
-        row = np.zeros(self.num_global_rvs)
-        for name in self.parameters:
-            offset, rows = self._blocks[name]
-            weight = model.direction[STATISTICAL_PARAMETERS.index(name)]
-            row[offset : offset + self.r[name]] = weight * rows[g]
-        return row
+        return self._sensitivity[self._gate_index[gate_name]]
 
     def run(self, *, input_slew_ps: Optional[float] = None) -> BlockSSTAResult:
         """One topological pass; returns canonical arrivals at end points.

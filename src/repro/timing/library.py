@@ -21,7 +21,7 @@ the substitution rationale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -114,6 +114,79 @@ class GateTimingModel:
         """Slew multiplier ``1 + m1 u + m2 u²`` (clipped positive)."""
         u = np.asarray(u, dtype=float)
         return np.maximum(1.0 + self.m1 * u + self.m2 * u * u, 0.05)
+
+
+#: Coefficient columns extracted by :func:`pack_gate_models`, in order.
+PACKED_COEFFICIENTS: Tuple[str, ...] = (
+    "d0", "d_slew", "d_load", "s0", "s_slew", "s_load",
+    "input_cap_ff", "k1", "k2", "m1", "m2",
+)
+
+
+@dataclass(frozen=True)
+class PackedGateModels:
+    """Structure-of-arrays view of a sequence of gate timing models.
+
+    Every scalar coefficient of :class:`GateTimingModel` becomes an
+    ``(N_g,)`` column and the unit sensitivity directions stack into an
+    ``(N_g, 4)`` matrix.  This is the packed form consumed by the compiled
+    timing program (:mod:`repro.timing.compiled`), the statistical
+    projection of :class:`repro.timing.sta.STAEngine` and the sensitivity
+    rows of :class:`repro.timing.block_ssta.BlockSSTA` — one packing, three
+    consumers.
+    """
+
+    d0: np.ndarray
+    d_slew: np.ndarray
+    d_load: np.ndarray
+    s0: np.ndarray
+    s_slew: np.ndarray
+    s_load: np.ndarray
+    input_cap_ff: np.ndarray
+    k1: np.ndarray
+    k2: np.ndarray
+    m1: np.ndarray
+    m2: np.ndarray
+    direction: np.ndarray  # (N_g, len(STATISTICAL_PARAMETERS))
+
+    @property
+    def num_gates(self) -> int:
+        """Number of packed models."""
+        return len(self.d0)
+
+    def parameter_weights(self, parameter: str) -> np.ndarray:
+        """Per-gate sensitivity weight column of one statistical parameter.
+
+        This is the ``w_j`` vector of the rank-one projection
+        ``u = Σ_j w_j p_j`` for every gate at once.
+        """
+        try:
+            position = STATISTICAL_PARAMETERS.index(parameter)
+        except ValueError:
+            raise ValueError(
+                f"unknown statistical parameter {parameter!r}; expected one "
+                f"of {STATISTICAL_PARAMETERS}"
+            ) from None
+        return self.direction[:, position]
+
+
+def pack_gate_models(models: Sequence[GateTimingModel]) -> PackedGateModels:
+    """Pack per-gate timing models into contiguous coefficient arrays.
+
+    The result's row ``i`` holds the coefficients of ``models[i]``; callers
+    index it with the same gate ordering they used to build the sequence
+    (``netlist.gates`` everywhere in this library).
+    """
+    models = list(models)
+    columns = {
+        name: np.array([getattr(m, name) for m in models], dtype=float)
+        for name in PACKED_COEFFICIENTS
+    }
+    if models:
+        direction = np.stack([m.direction for m in models]).astype(float)
+    else:
+        direction = np.zeros((0, len(STATISTICAL_PARAMETERS)))
+    return PackedGateModels(direction=direction, **columns)
 
 
 def _fanin_scaled(base: "GateTimingModel", fanin: int) -> "GateTimingModel":

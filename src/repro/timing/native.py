@@ -1,0 +1,116 @@
+"""Build and load the optional native STA block kernel.
+
+:mod:`repro.timing.compiled` evaluates sample blocks with numpy array
+operations.  When a C compiler is available, the same flattened program
+can instead be driven through ``sta_kernel.c`` — a single fused pass per
+gate that runs several times faster than the array formulation (no
+intermediate arrays, no per-op dispatch).  This module compiles that
+kernel on first use with the system ``cc`` into the artifact cache
+directory (``REPRO_CACHE_DIR``, default ``.repro_cache``) and loads it
+with :mod:`ctypes`; nothing is installed and no third-party build
+tooling is used.
+
+The kernel is strictly optional: if there is no compiler, the build
+fails, or ``REPRO_NO_NATIVE=1`` is set, :func:`load_kernel` returns
+``None`` and the engine silently stays on the numpy path.  Results are
+within floating-point reassociation error (``rtol=1e-12``) of both the
+numpy path and the reference engine, and are bitwise reproducible across
+chunk/block partitionings.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+_SOURCE = Path(__file__).with_name("sta_kernel.c")
+_CFLAGS = ["-O3", "-march=native", "-shared", "-fPIC"]
+
+_cached: Optional[object] = None
+_cached_key: Optional[str] = None
+
+
+def _cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def _build_key(source: bytes) -> str:
+    digest = hashlib.sha256()
+    digest.update(source)
+    digest.update(" ".join(_CFLAGS).encode())
+    return digest.hexdigest()[:16]
+
+
+def _argtypes():
+    i64 = ctypes.c_int64
+    p_i64 = ctypes.POINTER(ctypes.c_int64)
+    p_f64 = ctypes.POINTER(ctypes.c_double)
+    return [
+        i64, i64, p_f64, ctypes.c_double,
+        p_i64, i64,
+        p_i64, p_i64, p_f64, p_f64, p_f64, p_f64, p_f64, p_f64, i64,
+        i64,
+        p_i64, p_i64, p_i64,
+        p_f64, p_f64, p_f64, p_f64,
+        p_f64, p_f64, p_f64, p_f64,
+        p_i64, p_f64, p_f64,
+        p_f64, p_f64, p_f64,
+    ]
+
+
+def load_kernel() -> Optional[object]:
+    """Return the ``sta_eval_gates`` ctypes function, or ``None``.
+
+    The compiled shared object is cached per source/flag hash under the
+    artifact cache directory; builds are atomic (compile to a temp file,
+    then ``os.replace``) so concurrent processes — e.g. ``table1``
+    workers — never load a half-written library.
+    """
+    global _cached, _cached_key
+    if os.environ.get("REPRO_NO_NATIVE"):
+        return None
+    try:
+        source = _SOURCE.read_bytes()
+    except OSError:
+        return None
+    key = _build_key(source)
+    if _cached is not None and _cached_key == key:
+        return _cached
+
+    lib_path = _cache_dir() / "native" / f"sta_kernel_{key}.so"
+    if not lib_path.exists():
+        tmp = None
+        try:
+            lib_path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=lib_path.parent, suffix=".so.tmp"
+            )
+            os.close(fd)
+            subprocess.run(
+                ["cc", *_CFLAGS, str(_SOURCE), "-o", tmp, "-lm"],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp, lib_path)
+        except Exception:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            return None
+    try:
+        lib = ctypes.CDLL(str(lib_path))
+        fn = lib.sta_eval_gates
+    except (OSError, AttributeError):
+        return None
+    fn.argtypes = _argtypes()
+    fn.restype = None
+    _cached, _cached_key = fn, key
+    return fn

@@ -31,14 +31,91 @@ from repro.field.sampling import (
 from repro.place.placer import Placement
 from repro.timing.library import STATISTICAL_PARAMETERS, CellLibrary
 from repro.timing.sta import STAEngine, STAResult
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, as_generator
+
+
+class StreamingSTAResult:
+    """Moment-only STA result accumulated across streamed sample chunks.
+
+    Chunked SSTA runs (``chunk_size=``) never hold all ``N`` samples, so
+    instead of per-sample arrays this accumulates running first/second
+    moments — the worst-delay mean/σ and the per-end-point mean/σ that
+    :meth:`MonteCarloSSTA.compare` and the Fig. 6 metric consume.  Chunk
+    merging uses the pairwise (Chan et al.) update, which is numerically
+    stable regardless of chunk count; ``std`` matches :func:`numpy.std`
+    (``ddof=0``) up to round-off.
+
+    Duck-types the :class:`~repro.timing.sta.STAResult` summary methods
+    (``mean_worst_delay`` / ``std_worst_delay`` / ``output_sigma`` /
+    ``output_mean``); per-sample arrays (``worst_delay``,
+    ``end_arrivals``) are intentionally absent.
+    """
+
+    def __init__(self) -> None:
+        self.num_samples = 0
+        self._worst_mean = 0.0
+        self._worst_m2 = 0.0
+        self._end_names: Optional[Tuple[str, ...]] = None
+        self._end_mean: Optional[np.ndarray] = None
+        self._end_m2: Optional[np.ndarray] = None
+
+    def update(self, chunk: STAResult) -> None:
+        """Merge one chunk's :class:`STAResult` into the running moments."""
+        names = tuple(chunk.end_arrivals)
+        if self._end_names is None:
+            self._end_names = names
+            self._end_mean = np.zeros(len(names))
+            self._end_m2 = np.zeros(len(names))
+        elif names != self._end_names:
+            raise ValueError("chunk end points changed between chunks")
+        n_b = chunk.num_samples
+        n_a = self.num_samples
+        n = n_a + n_b
+
+        mean_b = float(np.mean(chunk.worst_delay))
+        m2_b = float(np.sum((chunk.worst_delay - mean_b) ** 2))
+        delta = mean_b - self._worst_mean
+        self._worst_mean += delta * n_b / n
+        self._worst_m2 += m2_b + delta * delta * n_a * n_b / n
+
+        ends = np.stack([chunk.end_arrivals[name] for name in names])
+        mean_b_v = ends.mean(axis=1)
+        m2_b_v = np.sum((ends - mean_b_v[:, None]) ** 2, axis=1)
+        delta_v = mean_b_v - self._end_mean
+        self._end_mean += delta_v * (n_b / n)
+        self._end_m2 += m2_b_v + delta_v * delta_v * (n_a * n_b / n)
+
+        self.num_samples = n
+
+    def mean_worst_delay(self) -> float:
+        """Running mean of the worst (chip-level) delay."""
+        return self._worst_mean
+
+    def std_worst_delay(self) -> float:
+        """Running population std (ddof=0, matching ``np.std``)."""
+        if self.num_samples == 0:
+            return 0.0
+        return float(np.sqrt(self._worst_m2 / self.num_samples))
+
+    def output_mean(self) -> Dict[str, float]:
+        """Per-end-point running mean arrival, keyed by net name."""
+        if self._end_names is None:
+            return {}
+        return dict(zip(self._end_names, map(float, self._end_mean)))
+
+    def output_sigma(self) -> Dict[str, float]:
+        """Per-end-point running std (ddof=0), keyed by net name."""
+        if self._end_names is None:
+            return {}
+        sigma = np.sqrt(self._end_m2 / max(self.num_samples, 1))
+        return dict(zip(self._end_names, map(float, sigma)))
 
 
 @dataclass(frozen=True)
 class SSTARun:
     """One MC-SSTA execution: timing result plus cost accounting."""
 
-    sta: STAResult
+    sta: Union[STAResult, StreamingSTAResult]
     sample_seconds: float
     timer_seconds: float
 
@@ -126,6 +203,9 @@ class MonteCarloSSTA:
         parameters' spatial kernel and flow through *both* algorithms
         (Cholesky at net-driver locations for the reference, the same KLE
         for Algorithm 2), so the comparison stays apples-to-apples.
+    engine:
+        STA engine mode forwarded to :class:`STAEngine` (``"compiled"``,
+        the default, or ``"reference"`` for the per-gate Python loop).
     """
 
     def __init__(
@@ -138,12 +218,13 @@ class MonteCarloSSTA:
         r: Optional[int] = None,
         library: Optional[CellLibrary] = None,
         wire_sigma: Optional[Mapping[str, float]] = None,
+        engine: str = "compiled",
     ):
         self.netlist = netlist
         self.placement = placement
         self.kernels = _normalize_kernels(kernels)
         self.kles = _normalize_kles(kle, self.kernels.keys())
-        self.engine = STAEngine(netlist, placement, library)
+        self.engine = STAEngine(netlist, placement, library, engine=engine)
         self.gate_locations = placement.gate_locations()
         self.reference_generator = CholeskySampleGenerator(self.kernels)
         self.kle_generator = KLESampleGenerator(self.kles, r=r)
@@ -188,42 +269,107 @@ class MonteCarloSSTA:
     # The two flows.
     # ------------------------------------------------------------------
     def run_reference(
-        self, num_samples: int, *, seed: SeedLike = None
+        self,
+        num_samples: int,
+        *,
+        seed: SeedLike = None,
+        chunk_size: Optional[int] = None,
     ) -> SSTARun:
         """Algorithm 1 + STA: the exact, full-dimensional reference."""
-        generated = self.reference_generator.generate(
-            self.gate_locations, num_samples, seed=seed
+        return self._run_flow(
+            self.reference_generator,
+            self._wire_reference_generator if self.wire_sigma else None,
+            num_samples,
+            seed,
+            chunk_size,
         )
-        sample_seconds = generated.total_seconds
-        wire_scales = None
-        if self.wire_sigma:
-            wire_scales, wire_seconds = self._wire_scales_from(
-                self._wire_reference_generator, num_samples,
-                _shift_seed(_shift_seed(seed)),
-            )
-            sample_seconds += wire_seconds
-        start = time.perf_counter()
-        sta = self.engine.run(generated.samples, wire_scales=wire_scales)
-        timer_seconds = time.perf_counter() - start
-        return SSTARun(sta, sample_seconds, timer_seconds)
 
-    def run_kle(self, num_samples: int, *, seed: SeedLike = None) -> SSTARun:
+    def run_kle(
+        self,
+        num_samples: int,
+        *,
+        seed: SeedLike = None,
+        chunk_size: Optional[int] = None,
+    ) -> SSTARun:
         """Algorithm 2 + STA: the reduced-dimensionality kernel flow."""
-        generated = self.kle_generator.generate(
-            self.gate_locations, num_samples, seed=seed
+        return self._run_flow(
+            self.kle_generator,
+            self._wire_kle_generator if self.wire_sigma else None,
+            num_samples,
+            seed,
+            chunk_size,
         )
-        sample_seconds = generated.total_seconds
-        wire_scales = None
-        if self.wire_sigma:
-            wire_scales, wire_seconds = self._wire_scales_from(
-                self._wire_kle_generator, num_samples,
-                _shift_seed(_shift_seed(seed)),
+
+    def _run_flow(
+        self,
+        generator,
+        wire_generator,
+        num_samples: int,
+        seed: SeedLike,
+        chunk_size: Optional[int],
+    ) -> SSTARun:
+        """Run one flow, either in one shot or as streamed chunks.
+
+        With ``chunk_size`` set, parameter samples (and wire fields) are
+        *generated* per chunk too, so peak memory is bounded by
+        ``chunk_size × N_g`` end to end — the paper-scale ``N = 100K``
+        runs never materialize the full sample matrices.  The chunks are
+        merged as running moments (:class:`StreamingSTAResult`); the
+        resulting statistics are those of a single ``N``-sample run over
+        the concatenated stream.
+        """
+        if chunk_size is None or num_samples <= chunk_size:
+            generated = generator.generate(
+                self.gate_locations, num_samples, seed=seed
             )
-            sample_seconds += wire_seconds
-        start = time.perf_counter()
-        sta = self.engine.run(generated.samples, wire_scales=wire_scales)
-        timer_seconds = time.perf_counter() - start
-        return SSTARun(sta, sample_seconds, timer_seconds)
+            sample_seconds = generated.total_seconds
+            wire_scales = None
+            if wire_generator is not None:
+                wire_scales, wire_seconds = self._wire_scales_from(
+                    wire_generator, num_samples,
+                    _shift_seed(_shift_seed(seed)),
+                )
+                sample_seconds += wire_seconds
+            start = time.perf_counter()
+            sta = self.engine.run(generated.samples, wire_scales=wire_scales)
+            timer_seconds = time.perf_counter() - start
+            return SSTARun(sta, sample_seconds, timer_seconds)
+
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        # One persistent generator per stream: spawn_generators() draws
+        # child seeds from it, so successive chunks get independent,
+        # reproducible sub-streams for any accepted seed form.
+        rng = as_generator(seed)
+        wire_rng = (
+            as_generator(_shift_seed(_shift_seed(seed)))
+            if wire_generator is not None
+            else None
+        )
+        moments = StreamingSTAResult()
+        sample_seconds = 0.0
+        timer_seconds = 0.0
+        done = 0
+        while done < num_samples:
+            rows = min(chunk_size, num_samples - done)
+            generated = generator.generate(
+                self.gate_locations, rows, seed=rng
+            )
+            sample_seconds += generated.total_seconds
+            wire_scales = None
+            if wire_generator is not None:
+                wire_scales, wire_seconds = self._wire_scales_from(
+                    wire_generator, rows, wire_rng
+                )
+                sample_seconds += wire_seconds
+            start = time.perf_counter()
+            chunk = self.engine.run(
+                generated.samples, wire_scales=wire_scales
+            )
+            timer_seconds += time.perf_counter() - start
+            moments.update(chunk)
+            done += rows
+        return SSTARun(moments, sample_seconds, timer_seconds)
 
     # ------------------------------------------------------------------
     # The Table 1 comparison.
@@ -234,15 +380,22 @@ class MonteCarloSSTA:
         *,
         seed: SeedLike = 0,
         circuit_name: Optional[str] = None,
+        chunk_size: Optional[int] = None,
     ) -> SSTAComparison:
         """Run both flows and produce one Table 1 row.
 
         The flows use *independent* random streams (as in the paper, where
         both are separate 100K-sample MC runs); mismatches therefore
-        include MC noise of order ``1/sqrt(N)``.
+        include MC noise of order ``1/sqrt(N)``.  ``chunk_size`` streams
+        both flows (see :meth:`run_reference`) so paper-scale ``N`` fits
+        in bounded memory.
         """
-        reference = self.run_reference(num_samples, seed=seed)
-        kle = self.run_kle(num_samples, seed=_shift_seed(seed))
+        reference = self.run_reference(
+            num_samples, seed=seed, chunk_size=chunk_size
+        )
+        kle = self.run_kle(
+            num_samples, seed=_shift_seed(seed), chunk_size=chunk_size
+        )
 
         ref_mean = reference.sta.mean_worst_delay()
         ref_std = reference.sta.std_worst_delay()
@@ -272,7 +425,8 @@ class MonteCarloSSTA:
 
 
 def sigma_error_over_outputs(
-    reference: STAResult, candidate: STAResult
+    reference: Union[STAResult, StreamingSTAResult],
+    candidate: Union[STAResult, StreamingSTAResult],
 ) -> float:
     """Mean relative σ_d error over all circuit end points, in percent.
 

@@ -14,9 +14,18 @@ scalar STA runs; both Algorithm 1 and Algorithm 2 feed the same engine, so
 their comparison isolates the sample-generation difference exactly as the
 paper intends.
 
+Engines: the default ``engine="compiled"`` additionally batches whole
+topological *levels* into ``(N, W_level)`` array operations through a
+:class:`~repro.timing.compiled.CompiledTimingProgram` built once per
+``STAEngine`` — the per-gate Python loop survives as
+``engine="reference"`` for differential testing.  Both produce identical
+results to floating-point round-off.
+
 Memory: net arrays are released as soon as their last sink gate has
 consumed them, so peak memory scales with the circuit's level width rather
-than its size.
+than its size.  ``run(chunk_size=...)`` additionally streams the sample
+axis in bounded chunks, so paper-scale ``N = 100K`` runs never hold all
+``N × N_g`` intermediates at once.
 """
 
 from __future__ import annotations
@@ -29,12 +38,17 @@ import numpy as np
 from repro.circuit.levelize import levelize
 from repro.circuit.netlist import Netlist
 from repro.place.placer import Placement
+from repro.timing.compiled import CompiledTimingProgram
 from repro.timing.library import (
     STATISTICAL_PARAMETERS,
     CellLibrary,
     GateTimingModel,
+    pack_gate_models,
 )
 from repro.timing.wire import WireModel, peri_slew, star_wire_model
+
+#: Engine modes accepted by :class:`STAEngine`.
+ENGINE_MODES = ("compiled", "reference")
 
 _PO_PAD_CAP_FF = 2.0  # output pad / downstream-stage load on primary outputs
 
@@ -93,6 +107,10 @@ class STAEngine:
         The circuit and its placement (wire loads come from net HPWL).
     library:
         Cell library; a default 90nm-class library when omitted.
+    engine:
+        ``"compiled"`` (default) evaluates whole topological levels with
+        batched array operations; ``"reference"`` keeps the original
+        per-gate Python loop.  :meth:`run` can override per call.
     """
 
     def __init__(
@@ -100,12 +118,19 @@ class STAEngine:
         netlist: Netlist,
         placement: Placement,
         library: Optional[CellLibrary] = None,
+        *,
+        engine: str = "compiled",
     ):
         if placement.netlist is not netlist:
             raise ValueError("placement does not belong to this netlist")
+        if engine not in ENGINE_MODES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_MODES}, got {engine!r}"
+            )
         self.netlist = netlist
         self.placement = placement
         self.library = library or CellLibrary()
+        self.engine = engine
         self.levelized = levelize(netlist)
         self._gate_index: Dict[str, int] = {
             gate.name: i for i, gate in enumerate(netlist.gates)
@@ -115,6 +140,9 @@ class STAEngine:
             self._models[gate.name] = self.library.model_for(
                 gate.gate_type, gate.num_inputs
             )
+        self._packed_models = pack_gate_models(
+            [self._models[gate.name] for gate in netlist.gates]
+        )
         self._wires: Dict[str, WireModel] = {}
         # (net, sink gate name, pin) -> index into the wire model's arrays.
         self._sink_slot: Dict[Tuple[str, str, int], int] = {}
@@ -123,6 +151,20 @@ class STAEngine:
         self._pin_counts: Dict[str, int] = {
             net: len(netlist.sinks_of(net)) for net in netlist.nets
         }
+        self._program: Optional[CompiledTimingProgram] = None
+
+    @property
+    def program(self) -> CompiledTimingProgram:
+        """The level-compiled array program (built on first use, cached)."""
+        if self._program is None:
+            self._program = CompiledTimingProgram(
+                self.netlist,
+                self.levelized,
+                [self._models[gate.name] for gate in self.netlist.gates],
+                self._wires,
+                self.net_order(),
+            )
+        return self._program
 
     def _build_wire_models(self) -> None:
         technology = self.library.technology
@@ -175,6 +217,8 @@ class STAEngine:
         wire_scales: Optional[Mapping[str, np.ndarray]] = None,
         input_slew_ps: Optional[float] = None,
         keep_all_arrivals: bool = False,
+        engine: Optional[str] = None,
+        chunk_size: Optional[int] = None,
     ) -> STAResult:
         """Time the circuit for all samples at once.
 
@@ -201,7 +245,151 @@ class STAEngine:
         keep_all_arrivals:
             Keep every net's arrival array (disables memory reclamation);
             the result's ``end_arrivals`` then contains all nets.
+        engine:
+            Per-call override of the engine mode (``"compiled"`` or
+            ``"reference"``); defaults to the constructor's choice.
+        chunk_size:
+            Stream the sample axis in chunks of at most this many rows:
+            intermediate arenas and temporaries are bounded by
+            ``chunk_size × level_width`` instead of ``N × level_width``,
+            and per-chunk results are concatenated.  Results are
+            identical to an unchunked run.
         """
+        if engine is None:
+            engine = self.engine
+        if engine not in ENGINE_MODES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_MODES}, got {engine!r}"
+            )
+        if chunk_size is not None:
+            chunk_size = int(chunk_size)
+            if chunk_size < 1:
+                raise ValueError(
+                    f"chunk_size must be >= 1, got {chunk_size}"
+                )
+            names, matrices, total = self._validated_samples(
+                parameter_samples
+            )
+            validated_scales, total = self._validate_wire_scales(
+                wire_scales, total
+            )
+            if total > chunk_size:
+                return self._run_chunked(
+                    names,
+                    matrices,
+                    validated_scales,
+                    total,
+                    chunk_size,
+                    input_slew_ps=input_slew_ps,
+                    keep_all_arrivals=keep_all_arrivals,
+                    engine=engine,
+                )
+        if engine == "compiled":
+            return self._run_compiled(
+                parameter_samples,
+                wire_scales,
+                input_slew_ps=input_slew_ps,
+                keep_all_arrivals=keep_all_arrivals,
+            )
+        return self._run_reference(
+            parameter_samples,
+            wire_scales,
+            input_slew_ps=input_slew_ps,
+            keep_all_arrivals=keep_all_arrivals,
+        )
+
+    def _run_chunked(
+        self,
+        names: List[str],
+        matrices: List[np.ndarray],
+        wire_scales: Optional[Dict[str, np.ndarray]],
+        num_samples: int,
+        chunk_size: int,
+        *,
+        input_slew_ps: Optional[float],
+        keep_all_arrivals: bool,
+        engine: str,
+    ) -> STAResult:
+        """Split the sample axis into bounded chunks and merge the results."""
+        worst_parts: List[np.ndarray] = []
+        end_parts: Dict[str, List[np.ndarray]] = {}
+        for start in range(0, num_samples, chunk_size):
+            stop = min(start + chunk_size, num_samples)
+            chunk_samples = (
+                {
+                    name: matrix[start:stop]
+                    for name, matrix in zip(names, matrices)
+                }
+                if names
+                else None
+            )
+            chunk_scales = (
+                {key: value[start:stop] for key, value in wire_scales.items()}
+                if wire_scales
+                else None
+            )
+            part = self.run(
+                chunk_samples,
+                wire_scales=chunk_scales,
+                input_slew_ps=input_slew_ps,
+                keep_all_arrivals=keep_all_arrivals,
+                engine=engine,
+            )
+            worst_parts.append(part.worst_delay)
+            for net, values in part.end_arrivals.items():
+                end_parts.setdefault(net, []).append(values)
+        return STAResult(
+            end_arrivals={
+                net: np.concatenate(parts) for net, parts in end_parts.items()
+            },
+            worst_delay=np.concatenate(worst_parts),
+            num_samples=num_samples,
+        )
+
+    def _run_compiled(
+        self,
+        parameter_samples: Optional[Mapping[str, np.ndarray]],
+        wire_scales: Optional[Mapping[str, np.ndarray]],
+        *,
+        input_slew_ps: Optional[float],
+        keep_all_arrivals: bool,
+    ) -> STAResult:
+        """One pass of the level-compiled array program."""
+        names, matrices, num_samples = self._validated_samples(
+            parameter_samples
+        )
+        wire_scales, num_samples = self._validate_wire_scales(
+            wire_scales, num_samples
+        )
+        if input_slew_ps is None:
+            input_slew_ps = self.library.technology.default_input_slew_ps
+        products = [
+            (matrix, self._packed_models.parameter_weights(name))
+            for name, matrix in zip(names, matrices)
+        ]
+        output = self.program.execute(
+            num_samples,
+            parameter_products=products or None,
+            r_scales=wire_scales.get("R") if wire_scales else None,
+            c_scales=wire_scales.get("C") if wire_scales else None,
+            input_slew_ps=float(input_slew_ps),
+            keep_all_arrivals=keep_all_arrivals,
+        )
+        return STAResult(
+            end_arrivals=output.end_arrivals,
+            worst_delay=output.worst_delay,
+            num_samples=output.num_samples,
+        )
+
+    def _run_reference(
+        self,
+        parameter_samples: Optional[Mapping[str, np.ndarray]],
+        wire_scales: Optional[Mapping[str, np.ndarray]],
+        *,
+        input_slew_ps: Optional[float],
+        keep_all_arrivals: bool,
+    ) -> STAResult:
+        """The original per-gate Python traversal (differential baseline)."""
         num_samples, u_by_gate = self._statistical_projection(parameter_samples)
         wire_scales, num_samples = self._validate_wire_scales(
             wire_scales, num_samples
@@ -305,16 +493,14 @@ class STAEngine:
             num_samples=num_samples,
         )
 
-    def _statistical_projection(
+    def _validated_samples(
         self,
         parameter_samples: Optional[Mapping[str, np.ndarray]],
-    ):
-        """Return ``(N, u_by_gate)`` where ``u_by_gate(g)`` is the rank-one
-        projection ``u = wᵀ p`` for gate ``g`` over all samples."""
+    ) -> Tuple[List[str], List[np.ndarray], int]:
+        """Validate parameter samples; return ``(names, matrices, N)``."""
         num_gates = self.netlist.num_gates
         if not parameter_samples:
-            return 1, lambda gate_index: np.zeros(1)
-
+            return [], [], 1
         names: List[str] = []
         matrices: List[np.ndarray] = []
         for name, matrix in parameter_samples.items():
@@ -334,34 +520,48 @@ class STAEngine:
         lengths = {m.shape[0] for m in matrices}
         if len(lengths) != 1:
             raise ValueError("all parameter sample matrices must share N")
-        num_samples = lengths.pop()
-        param_pos = {
-            name: STATISTICAL_PARAMETERS.index(name) for name in names
-        }
-        models = self._models
-        gates = self.netlist.gates
+        return names, matrices, lengths.pop()
+
+    def _u_matrix(
+        self, names: List[str], matrices: List[np.ndarray]
+    ) -> np.ndarray:
+        """``(N, N_g)`` projection ``u = Σ_j w_j · p_j`` for all gates."""
+        num_samples = matrices[0].shape[0]
+        u_matrix = np.zeros((num_samples, self.netlist.num_gates))
+        for name, matrix in zip(names, matrices):
+            weights = self._packed_models.parameter_weights(name)
+            u_matrix += matrix * weights[None, :]
+        return u_matrix
+
+    def _statistical_projection(
+        self,
+        parameter_samples: Optional[Mapping[str, np.ndarray]],
+    ):
+        """Return ``(N, u_by_gate)`` where ``u_by_gate(g)`` is the rank-one
+        projection ``u = wᵀ p`` for gate ``g`` over all samples."""
+        names, matrices, num_samples = self._validated_samples(
+            parameter_samples
+        )
+        if not names:
+            return 1, lambda gate_index: np.zeros(1)
+        num_gates = self.netlist.num_gates
 
         # Fast path: precompute U = Σ_j w_j(gate) · p_j as one (N, Ng)
         # array so the hot loop only gathers columns.  Falls back to lazy
         # per-gate evaluation when the array would be too large.
         if num_samples * num_gates * 8 <= 512 * 1024 * 1024:
-            weight_rows = {
-                name: np.array(
-                    [
-                        models[g.name].direction[param_pos[name]]
-                        for g in gates
-                    ]
-                )
-                for name in names
-            }
-            u_matrix = np.zeros((num_samples, num_gates))
-            for name, matrix in zip(names, matrices):
-                u_matrix += matrix * weight_rows[name][None, :]
+            u_matrix = self._u_matrix(names, matrices)
 
             def u_by_gate(gate_index: int) -> np.ndarray:
                 return u_matrix[:, gate_index]
 
             return num_samples, u_by_gate
+
+        param_pos = {
+            name: STATISTICAL_PARAMETERS.index(name) for name in names
+        }
+        models = self._models
+        gates = self.netlist.gates
 
         def u_by_gate(gate_index: int) -> np.ndarray:
             direction = models[gates[gate_index].name].direction

@@ -1,0 +1,151 @@
+/* Native block evaluator for the level-compiled STA program.
+ *
+ * This kernel consumes exactly the arrays that
+ * repro.timing.compiled.CompiledTimingProgram flattens at compile time
+ * (per-gate model coefficients, per-pin wire constants, arena slot
+ * indices in topological order) and evaluates one sample block with the
+ * whole per-gate recurrence fused into a single pass:
+ *
+ *   slew_in  = sqrt(pin_slew^2 + step2)                (Bakoglu wire)
+ *   cand     = pin_arrival + wire_delay
+ *                + (base_delay + d_slew*slew_in) * scale_d
+ *   slew_out = (base_slew + s_slew*slew_in) * scale_s
+ *   winner   = first pin with strictly greater cand    (reference tie rule)
+ *
+ * with scale = max(1 + k1*u + k2*u^2, 0.05) from the rank-one projection
+ * u (computed per block by the caller, row-major (B, Ng)).
+ *
+ * The arenas are (width, B) slot-major so every per-slot vector of B
+ * samples is contiguous; all inner loops run over the B sample lanes and
+ * auto-vectorize.  Gate-sequential evaluation is safe because the slot
+ * schedule has level-barrier semantics: an output slot never aliases a
+ * slot still being read by its own level.
+ *
+ * Per-sample results are independent of B, so any block partitioning
+ * yields bitwise identical results.
+ */
+
+#include <math.h>
+#include <stdint.h>
+
+void sta_eval_gates(
+    int64_t num_rows,            /* B: samples in this block */
+    int64_t num_model_gates,     /* Ng: row stride of u */
+    const double *u,             /* (B, Ng) projection, or NULL (nominal) */
+    double input_slew,
+    const int64_t *pi_slots, int64_t num_pi,
+    const int64_t *dff_slots, const int64_t *dff_gids,
+    const double *dff_dnom, const double *dff_snom,
+    const double *dff_k1, const double *dff_k2,
+    const double *dff_m1, const double *dff_m2, int64_t num_dff,
+    int64_t num_gates,           /* combinational gates, topological order */
+    const int64_t *g_fanin, const int64_t *g_out_slot, const int64_t *g_id,
+    const double *g_bd, const double *g_dsl,
+    const double *g_bs, const double *g_ssl,
+    const double *g_k1, const double *g_k2,
+    const double *g_m1, const double *g_m2,
+    const int64_t *p_slot, const double *p_wd, const double *p_step2,
+    double *arena_a, double *arena_s,   /* (width, B) slot-major */
+    double *scratch)                    /* >= 4*B doubles */
+{
+    const int64_t B = num_rows;
+    double *best_a = scratch;
+    double *best_s = scratch + B;
+    double *scd = scratch + 2 * B;
+    double *scs = scratch + 3 * B;
+
+    for (int64_t i = 0; i < num_pi; ++i) {
+        double *pa = arena_a + pi_slots[i] * B;
+        double *ps = arena_s + pi_slots[i] * B;
+        for (int64_t n = 0; n < B; ++n) {
+            pa[n] = 0.0;
+            ps[n] = input_slew;
+        }
+    }
+
+    for (int64_t i = 0; i < num_dff; ++i) {
+        double *pa = arena_a + dff_slots[i] * B;
+        double *ps = arena_s + dff_slots[i] * B;
+        const double dn = dff_dnom[i], sn = dff_snom[i];
+        if (u) {
+            const double *ucol = u + dff_gids[i];
+            const double k1 = dff_k1[i], k2 = dff_k2[i];
+            const double m1 = dff_m1[i], m2 = dff_m2[i];
+            for (int64_t n = 0; n < B; ++n) {
+                const double uv = ucol[n * num_model_gates];
+                double sd = 1.0 + k1 * uv + k2 * uv * uv;
+                double ss = 1.0 + m1 * uv + m2 * uv * uv;
+                if (sd < 0.05) sd = 0.05;
+                if (ss < 0.05) ss = 0.05;
+                pa[n] = dn * sd;
+                ps[n] = sn * ss;
+            }
+        } else {
+            for (int64_t n = 0; n < B; ++n) {
+                pa[n] = dn;
+                ps[n] = sn;
+            }
+        }
+    }
+
+    int64_t p = 0;
+    for (int64_t g = 0; g < num_gates; ++g) {
+        const int64_t fanin = g_fanin[g];
+        const double bd = g_bd[g], dsl = g_dsl[g];
+        const double bs = g_bs[g], ssl = g_ssl[g];
+
+        if (u) {
+            const double *ucol = u + g_id[g];
+            const double k1 = g_k1[g], k2 = g_k2[g];
+            const double m1 = g_m1[g], m2 = g_m2[g];
+            for (int64_t n = 0; n < B; ++n) {
+                const double uv = ucol[n * num_model_gates];
+                double sd = 1.0 + k1 * uv + k2 * uv * uv;
+                double ss = 1.0 + m1 * uv + m2 * uv * uv;
+                if (sd < 0.05) sd = 0.05;
+                if (ss < 0.05) ss = 0.05;
+                scd[n] = sd;
+                scs[n] = ss;
+            }
+        } else {
+            for (int64_t n = 0; n < B; ++n) {
+                scd[n] = 1.0;
+                scs[n] = 1.0;
+            }
+        }
+
+        /* First pin unconditionally seeds the winner ... */
+        {
+            const double *pa = arena_a + p_slot[p] * B;
+            const double *ps = arena_s + p_slot[p] * B;
+            const double wd = p_wd[p], st2 = p_step2[p];
+            for (int64_t n = 0; n < B; ++n) {
+                const double sl = sqrt(ps[n] * ps[n] + st2);
+                best_a[n] = pa[n] + wd + (bd + dsl * sl) * scd[n];
+                best_s[n] = (bs + ssl * sl) * scs[n];
+            }
+            ++p;
+        }
+        /* ... later pins replace it only when strictly greater. */
+        for (int64_t j = 1; j < fanin; ++j, ++p) {
+            const double *pa = arena_a + p_slot[p] * B;
+            const double *ps = arena_s + p_slot[p] * B;
+            const double wd = p_wd[p], st2 = p_step2[p];
+            for (int64_t n = 0; n < B; ++n) {
+                const double sl = sqrt(ps[n] * ps[n] + st2);
+                const double cand = pa[n] + wd + (bd + dsl * sl) * scd[n];
+                const double osl = (bs + ssl * sl) * scs[n];
+                const int take = cand > best_a[n];
+                best_a[n] = take ? cand : best_a[n];
+                best_s[n] = take ? osl : best_s[n];
+            }
+        }
+
+        double *oa = arena_a + g_out_slot[g] * B;
+        double *os = arena_s + g_out_slot[g] * B;
+        for (int64_t n = 0; n < B; ++n) {
+            oa[n] = best_a[n];
+            os[n] = best_s[n];
+        }
+    }
+}

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -178,6 +178,68 @@ class WireModel:
         """Driver load under a wire-capacitance scale factor."""
         c_scale = np.asarray(c_scale, dtype=float)
         return self.pin_cap_ff + c_scale * self.wire_cap_ff
+
+
+@dataclass(frozen=True)
+class PackedWireModels:
+    """Flat-array view of every net's wire model (compiled-engine input).
+
+    Per-net quantities are ``(num_nets,)`` columns in the caller's net
+    order; per-sink quantities are concatenated into flat arrays addressed
+    as ``sink_offset[net_column] + slot`` — the ``(net, slot)`` pair the
+    STA engine already tracks per gate pin becomes a single gather index.
+    """
+
+    total_cap_ff: np.ndarray     # (num_nets,) driver load at nominal
+    wire_cap_ff: np.ndarray      # (num_nets,) metal share of the load
+    pin_cap_ff: np.ndarray       # (num_nets,) device-pin share of the load
+    sink_offset: np.ndarray      # (num_nets,) start of each net's sink run
+    sink_delay_ps: np.ndarray    # (total_sinks,) nominal Elmore delays
+    sink_rc_half: np.ndarray     # (total_sinks,) R·C_wire/2 term (R and C scale)
+    sink_r_pin: np.ndarray       # (total_sinks,) R·C_pin term (R-only scale)
+
+    def flat_sink_index(self, net_column: int, slot: int) -> int:
+        """Flat index of one ``(net, slot)`` sink pin."""
+        return int(self.sink_offset[net_column]) + slot
+
+
+def pack_wire_models(
+    wires: Mapping[str, WireModel], net_order: Sequence[str]
+) -> PackedWireModels:
+    """Concatenate per-net :class:`WireModel` data into flat arrays.
+
+    ``net_order`` fixes the column convention (the same order the engine's
+    ``wire_scales`` matrices use), so the compiled program can turn every
+    per-pin wire-delay lookup into an array gather.
+    """
+    total_cap = np.empty(len(net_order))
+    wire_cap = np.empty(len(net_order))
+    pin_cap = np.empty(len(net_order))
+    offsets = np.empty(len(net_order), dtype=np.int64)
+    delays: List[np.ndarray] = []
+    rc_halves: List[np.ndarray] = []
+    r_pins: List[np.ndarray] = []
+    position = 0
+    for column, net in enumerate(net_order):
+        wire = wires[net]
+        total_cap[column] = wire.total_cap_ff
+        wire_cap[column] = wire.wire_cap_ff
+        pin_cap[column] = wire.pin_cap_ff
+        offsets[column] = position
+        delays.append(np.asarray(wire.sink_delay_ps, dtype=float))
+        rc_halves.append(np.asarray(wire.sink_res_cap_split[:, 0], dtype=float))
+        r_pins.append(np.asarray(wire.sink_res_cap_split[:, 1], dtype=float))
+        position += len(wire.sink_delay_ps)
+    empty = np.zeros(0)
+    return PackedWireModels(
+        total_cap_ff=total_cap,
+        wire_cap_ff=wire_cap,
+        pin_cap_ff=pin_cap,
+        sink_offset=offsets,
+        sink_delay_ps=np.concatenate(delays) if delays else empty,
+        sink_rc_half=np.concatenate(rc_halves) if rc_halves else empty,
+        sink_r_pin=np.concatenate(r_pins) if r_pins else empty,
+    )
 
 
 def star_wire_model(

@@ -151,3 +151,83 @@ def test_wire_sigma_validation(c880, c880_placement, gaussian_kernel, gaussian_k
             c880, c880_placement, gaussian_kernel, gaussian_kle,
             wire_sigma={"R": 1.5},
         )
+
+
+# ---------------------------------------------------------------------------
+# Streaming (chunked) SSTA runs.
+# ---------------------------------------------------------------------------
+def test_streaming_moments_match_concatenated(harness):
+    """StreamingSTAResult's Chan-merged moments equal numpy on the full
+    concatenated stream."""
+    import numpy as np
+
+    from repro.timing.ssta import StreamingSTAResult
+
+    chunks = [harness.run_reference(n, seed=s).sta for n, s in ((70, 0), (50, 1), (30, 2))]
+    streaming = StreamingSTAResult()
+    for chunk in chunks:
+        streaming.update(chunk)
+    worst = np.concatenate([c.worst_delay for c in chunks])
+    assert streaming.num_samples == worst.size
+    assert streaming.mean_worst_delay() == pytest.approx(
+        float(np.mean(worst)), rel=1e-12
+    )
+    assert streaming.std_worst_delay() == pytest.approx(
+        float(np.std(worst)), rel=1e-12
+    )
+    for net in chunks[0].end_arrivals:
+        values = np.concatenate([c.end_arrivals[net] for c in chunks])
+        assert streaming.output_sigma()[net] == pytest.approx(
+            float(np.std(values)), rel=1e-10, abs=1e-12
+        )
+        assert streaming.output_mean()[net] == pytest.approx(
+            float(np.mean(values)), rel=1e-12
+        )
+
+
+def test_chunked_run_statistics(harness):
+    """A chunked flow run produces the same statistics (within MC noise of
+    different-but-equally-valid streams) and the same accounting fields."""
+    run = harness.run_kle(600, seed=31, chunk_size=128)
+    full = harness.run_kle(600, seed=31)
+    assert run.sta.num_samples == 600
+    assert run.total_seconds > 0.0
+    assert run.sta.mean_worst_delay() == pytest.approx(
+        full.sta.mean_worst_delay(), rel=0.02
+    )
+    assert run.sta.std_worst_delay() == pytest.approx(
+        full.sta.std_worst_delay(), rel=0.35
+    )
+
+
+def test_chunked_compare_row(harness):
+    row = harness.compare(300, seed=0, circuit_name="c880", chunk_size=100)
+    assert row.num_samples == 300
+    assert row.e_mu_percent < 2.0
+    assert row.sigma_error_outputs_percent >= 0.0
+
+
+def test_chunked_run_reproducible(harness):
+    a = harness.run_reference(200, seed=17, chunk_size=64)
+    b = harness.run_reference(200, seed=17, chunk_size=64)
+    assert a.sta.mean_worst_delay() == b.sta.mean_worst_delay()
+    assert a.sta.std_worst_delay() == b.sta.std_worst_delay()
+
+
+def test_chunked_wire_variation_run(wire_harness):
+    run = wire_harness.run_kle(300, seed=5, chunk_size=90)
+    assert run.sta.num_samples == 300
+    assert run.sta.std_worst_delay() > 0.0
+
+
+def test_engine_parameter_forwarded(c880, c880_placement, gaussian_kernel, gaussian_kle):
+    harness = MonteCarloSSTA(
+        c880, c880_placement, gaussian_kernel, gaussian_kle, r=10,
+        engine="reference",
+    )
+    assert harness.engine.engine == "reference"
+    with pytest.raises(ValueError, match="engine must be one of"):
+        MonteCarloSSTA(
+            c880, c880_placement, gaussian_kernel, gaussian_kle, r=10,
+            engine="vectorised",
+        )
