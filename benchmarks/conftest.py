@@ -7,11 +7,13 @@ shared across modules; knobs come from the environment (see
 ``REPRO_FULL=1`` for the 16k–22k-gate circuits.
 
 Every bench session also writes a machine-readable summary —
-``BENCH_pr2.json`` by default, overridable via ``REPRO_BENCH_JSON`` —
+``BENCH_pr3.json`` by default, overridable via ``REPRO_BENCH_JSON`` —
 with per-bench wall-clock, the engine configuration (mode, native-kernel
 availability, sample count) and the artifact-cache counters.  Benches can
 attach structured fields (circuit, N, measured speedup, …) through the
-``bench_record`` fixture.
+``bench_record`` fixture; records carrying an ``mlmc`` field (per-level
+MLMC statistics) are additionally lifted into a top-level ``mlmc`` key
+for at-a-glance access.
 """
 
 import json
@@ -39,7 +41,7 @@ def context():
 
 @pytest.fixture
 def bench_record(request):
-    """Attach structured fields to this bench's ``BENCH_pr2.json`` entry.
+    """Attach structured fields to this bench's ``BENCH_pr3.json`` entry.
 
     Call it with keyword fields, e.g.
     ``bench_record(circuit="s15850", num_samples=2000, speedup=7.5)``;
@@ -86,7 +88,14 @@ def pytest_sessionfinish(session, exitstatus):
         "benches": benches,
         "cache_stats": cache_stats(),
     }
-    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_pr2.json")
+    mlmc_records = {
+        record["test"]: record["mlmc"]
+        for record in benches
+        if "mlmc" in record
+    }
+    if mlmc_records:
+        payload["mlmc"] = mlmc_records
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_pr3.json")
     try:
         with open(path, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)

@@ -1,0 +1,84 @@
+"""MLMC estimator benches: matched-accuracy speedup and L=0 exactness.
+
+The headline claim of the ``repro.mlmc`` subsystem: on an ISCAS circuit,
+the adaptive two-level surrogate ladder reaches the *same* target
+standard error as single-level rank-25 KLE Monte Carlo at least 2×
+faster, while agreeing on the delay mean and σ within combined
+Monte-Carlo error.  A second bench pins the degenerate guarantee — an
+L=0 hierarchy reproduces plain ``run_kle`` bit for bit — and both runs
+land their per-level statistics in ``BENCH_pr3.json``.
+"""
+
+import numpy as np
+
+from repro.experiments.mlmc_convergence import run_mlmc_speedup
+from repro.mlmc import KLERankHierarchy, MLMCEstimator
+from repro.timing.ssta import MonteCarloSSTA
+
+#: Single-level sample count for the speedup bench.  Large enough that
+#: the one-off surrogate build (2d + 1 STA rows) is well amortized.
+_SPEEDUP_SAMPLES = 4000
+_SPEEDUP_CIRCUIT = "c1908"
+_L0_SAMPLES = 500
+
+
+def test_mlmc_matched_accuracy_speedup(bench_record):
+    report = run_mlmc_speedup(
+        _SPEEDUP_CIRCUIT, r=25, num_samples=_SPEEDUP_SAMPLES, seed=2008
+    )
+    bench_record(
+        circuit=report.circuit,
+        num_samples=report.single_num_samples,
+        eps_ps=round(report.eps, 4),
+        speedup=round(report.speedup, 2),
+        mean_z=round(report.mean_z, 3),
+        sigma_z=round(report.sigma_z, 3),
+        single_seconds=round(report.single_seconds, 4),
+        mlmc_seconds=round(report.mlmc_seconds, 4),
+        mlmc=report.mlmc.to_dict(),
+    )
+    assert report.matched, (
+        f"MLMC and single-level estimates disagree: mean z = "
+        f"{report.mean_z:.2f}, sigma z = {report.sigma_z:.2f}"
+    )
+    assert report.mlmc.consistency.passed, (
+        "telescoping consistency check failed: "
+        f"max |z| = {report.mlmc.consistency.max_z:.2f}"
+    )
+    assert report.speedup >= 2.0, (
+        f"MLMC only {report.speedup:.2f}x faster than single-level KLE MC "
+        f"on {report.circuit} at eps = {report.eps:.3f} ps "
+        f"(single {report.single_seconds:.3f}s, "
+        f"MLMC {report.mlmc_seconds:.3f}s)"
+    )
+
+
+def test_mlmc_degenerate_level_is_exact(context, bench_record):
+    """L=0 MLMC must reproduce plain KLE MC bitwise under the same seed."""
+    circuit = "c880"
+    netlist = context.circuit(circuit)
+    placement = context.placement(circuit)
+    hierarchy = KLERankHierarchy(context.kle, [25])
+    estimator = MLMCEstimator(netlist, placement, hierarchy)
+    result = estimator.run(
+        n_samples=[_L0_SAMPLES], seed=2008, keep_samples=True
+    )
+    harness = MonteCarloSSTA(
+        netlist, placement, context.kernel, context.kle, r=25
+    )
+    plain = harness.run_kle(_L0_SAMPLES, seed=2008)
+    exact = np.array_equal(
+        result.level_worst_delays[0], plain.sta.worst_delay
+    )
+    bench_record(
+        circuit=circuit,
+        num_samples=_L0_SAMPLES,
+        l0_exact=bool(exact),
+        mean_ps=round(result.mean, 4),
+        mlmc=result.to_dict(),
+    )
+    assert exact, (
+        "degenerate single-level MLMC diverged from plain run_kle "
+        "under the same seed"
+    )
+    assert result.mean == plain.sta.mean_worst_delay()

@@ -18,7 +18,7 @@ import time
 
 import numpy as np
 
-EXHIBITS = ("fig1", "fig3", "fig45", "fig6", "table1")
+EXHIBITS = ("fig1", "fig3", "fig45", "fig6", "table1", "mlmc")
 
 
 def run_fig1() -> None:
@@ -100,12 +100,29 @@ def run_table1() -> None:
     print(format_table1(rows))
 
 
+def run_mlmc() -> None:
+    from repro.experiments.mlmc_convergence import (
+        format_speedup_report,
+        run_mlmc_convergence,
+        run_mlmc_speedup,
+    )
+
+    convergence = run_mlmc_convergence("c880", ranks=(6, 12, 25))
+    print("MLMC convergence: KLE-rank ladder on c880")
+    print(convergence.result.format_report())
+    print()
+    speedup = run_mlmc_speedup("c1908")
+    print("MLMC matched-accuracy speedup: surrogate ladder on c1908")
+    print(format_speedup_report(speedup))
+
+
 RUNNERS = {
     "fig1": run_fig1,
     "fig3": run_fig3,
     "fig45": run_fig45,
     "fig6": run_fig6,
     "table1": run_table1,
+    "mlmc": run_mlmc,
 }
 
 

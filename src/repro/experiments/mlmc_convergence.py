@@ -1,0 +1,263 @@
+"""MLMC convergence diagnostics and matched-accuracy speedup experiment.
+
+Two drivers on top of :mod:`repro.mlmc`:
+
+- :func:`run_mlmc_convergence` — a KLE-rank ladder on one circuit with a
+  fixed geometric allocation: reports the per-level ``E[Y_l]`` / ``V_l``
+  decay, the fitted weak/strong rates and the telescoping consistency
+  check.  This is the Griebel–Li style truncation-vs-sampling picture for
+  the paper's correlation-kernel KLE.
+- :func:`run_mlmc_speedup` — the headline experiment: single-level KLE
+  Monte Carlo at ``N`` samples vs the adaptive two-level surrogate ladder
+  (:class:`~repro.mlmc.SurrogateKLEHierarchy`) tuned to the *same* target
+  standard error ``ε = σ/√N``.  Both estimate the same rank-``r`` KLE
+  delay distribution; the report records the speedup and the mean/σ
+  agreement z-scores that certify "matched accuracy".
+
+Sample counts follow ``REPRO_SAMPLES``; engine selection ``REPRO_ENGINE``
+(see :mod:`repro.experiments.common`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import (
+    default_engine,
+    default_num_samples,
+    get_context,
+)
+from repro.mlmc import (
+    KLERankHierarchy,
+    MLMCEstimator,
+    MLMCResult,
+    SurrogateKLEHierarchy,
+)
+from repro.timing.ssta import MonteCarloSSTA
+from repro.utils.rng import SeedLike
+
+#: z-score bound for declaring the two estimators' statistics "matched".
+MATCHED_Z_THRESHOLD = 4.0
+
+
+@dataclass(frozen=True)
+class MLMCConvergenceReport:
+    """Per-level convergence diagnostics of a KLE-rank ladder."""
+
+    circuit: str
+    ranks: Tuple[int, ...]
+    result: MLMCResult
+
+    def to_dict(self) -> dict:
+        """JSON-serializable report."""
+        return {
+            "circuit": self.circuit,
+            "ranks": list(self.ranks),
+            **self.result.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class MLMCSpeedupReport:
+    """Matched-accuracy comparison: single-level KLE MC vs surrogate MLMC.
+
+    ``speedup`` compares internally measured wall-clock (sampling plus
+    timing plus surrogate setup) at equal target standard error ``eps``;
+    ``mean_z`` / ``sigma_z`` certify that both estimators agree on the
+    delay mean and σ within combined Monte-Carlo error.
+    """
+
+    circuit: str
+    r: int
+    eps: float
+    single_num_samples: int
+    single_mean: float
+    single_std: float
+    single_sem: float
+    single_seconds: float
+    mlmc_seconds: float
+    speedup: float
+    mean_z: float
+    sigma_z: float
+    mlmc: MLMCResult
+
+    @property
+    def matched(self) -> bool:
+        """Whether mean and σ agree within ``MATCHED_Z_THRESHOLD``."""
+        return (
+            self.mean_z <= MATCHED_Z_THRESHOLD
+            and self.sigma_z <= MATCHED_Z_THRESHOLD
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable report (benchmark payload shape)."""
+        return {
+            "circuit": self.circuit,
+            "r": self.r,
+            "eps_ps": self.eps,
+            "single_level": {
+                "num_samples": self.single_num_samples,
+                "mean_ps": self.single_mean,
+                "std_ps": self.single_std,
+                "sem_ps": self.single_sem,
+                "seconds": round(self.single_seconds, 6),
+            },
+            "mlmc_seconds": round(self.mlmc_seconds, 6),
+            "speedup": round(self.speedup, 3),
+            "mean_z": self.mean_z,
+            "sigma_z": self.sigma_z,
+            "matched": self.matched,
+            "mlmc": self.mlmc.to_dict(),
+        }
+
+
+def default_convergence_allocation(
+    num_levels: int, base: Optional[int] = None
+) -> List[int]:
+    """Geometrically decaying per-level counts (coarse levels get more)."""
+    if num_levels < 1:
+        raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+    base = default_num_samples() if base is None else int(base)
+    return [max(base >> level, 16) for level in range(num_levels)]
+
+
+def run_mlmc_convergence(
+    circuit: str = "c1908",
+    *,
+    ranks: Sequence[int] = (6, 12, 25),
+    n_samples: Optional[Sequence[int]] = None,
+    seed: SeedLike = 0,
+    engine: Optional[str] = None,
+    chunk_size: Optional[int] = None,
+    quantiles: Sequence[float] = (0.95,),
+) -> MLMCConvergenceReport:
+    """Run a fixed-allocation KLE-rank ladder and collect diagnostics."""
+    context = get_context()
+    ranks = tuple(int(r) for r in ranks)
+    hierarchy = KLERankHierarchy(context.kle, ranks)
+    estimator = MLMCEstimator(
+        context.circuit(circuit),
+        context.placement(circuit),
+        hierarchy,
+        engine=engine or default_engine(),
+    )
+    if n_samples is None:
+        n_samples = default_convergence_allocation(len(ranks))
+    result = estimator.run(
+        n_samples=n_samples,
+        seed=seed,
+        chunk_size=chunk_size,
+        quantiles=quantiles,
+    )
+    return MLMCConvergenceReport(circuit=circuit, ranks=ranks, result=result)
+
+
+def run_mlmc_speedup(
+    circuit: str = "c1908",
+    *,
+    r: int = 25,
+    eps: Optional[float] = None,
+    num_samples: Optional[int] = None,
+    seed: SeedLike = 0,
+    engine: Optional[str] = None,
+    quantiles: Sequence[float] = (),
+) -> MLMCSpeedupReport:
+    """Time single-level KLE MC vs adaptive surrogate MLMC at equal ε.
+
+    The single-level run uses ``num_samples`` draws (default
+    ``REPRO_SAMPLES``); its realized standard error ``σ/√N`` becomes the
+    MLMC tolerance ``eps`` unless one is given explicitly.  Both flows
+    are warmed up (engine compile, surrogate build) before timing.
+    """
+    context = get_context()
+    engine = engine or default_engine()
+    netlist = context.circuit(circuit)
+    placement = context.placement(circuit)
+    num_samples = (
+        default_num_samples() if num_samples is None else int(num_samples)
+    )
+
+    harness = MonteCarloSSTA(
+        netlist, placement, context.kernel, context.kle, r=r, engine=engine
+    )
+    hierarchy = SurrogateKLEHierarchy(context.kle, r=r)
+    estimator = MLMCEstimator(netlist, placement, hierarchy, engine=engine)
+
+    # Warm-up: compile the engine program and build the surrogate outside
+    # the timed region (both flows share the same compiled engine cost).
+    harness.run_kle(8, seed=seed)
+    estimator.run(n_samples=[8, 4], seed=seed)
+    setup_already_paid = estimator.setup_seconds
+
+    single = harness.run_kle(num_samples, seed=seed)
+    single_mean = single.sta.mean_worst_delay()
+    single_std = single.sta.std_worst_delay()
+    single_sem = single_std / np.sqrt(num_samples)
+    target = float(eps) if eps is not None else float(single_sem)
+
+    mlmc = estimator.run(
+        eps=target,
+        seed=None if seed is None else int(seed) + 1,
+        initial_samples=min(128, max(16, num_samples // 16)),
+        quantiles=quantiles,
+    )
+    # The surrogate was built during warm-up; charge it to the MLMC side
+    # anyway (a cold run would pay it), but only once.
+    mlmc_seconds = (
+        mlmc.total_seconds - mlmc.setup_seconds + setup_already_paid
+    )
+    single_seconds = single.total_seconds
+
+    sigma_sem_single = single_std / np.sqrt(2.0 * max(num_samples - 1, 1))
+    mean_spread = float(np.hypot(mlmc.estimator_sem, single_sem))
+    sigma_spread = float(np.hypot(mlmc.sigma_sem, sigma_sem_single))
+    mean_z = (
+        abs(mlmc.mean - single_mean) / mean_spread
+        if mean_spread > 0.0
+        else float("inf")
+    )
+    sigma_z = (
+        abs(mlmc.std - single_std) / sigma_spread
+        if sigma_spread > 0.0
+        else float("inf")
+    )
+    return MLMCSpeedupReport(
+        circuit=circuit,
+        r=int(r),
+        eps=target,
+        single_num_samples=num_samples,
+        single_mean=float(single_mean),
+        single_std=float(single_std),
+        single_sem=float(single_sem),
+        single_seconds=float(single_seconds),
+        mlmc_seconds=float(mlmc_seconds),
+        speedup=float(single_seconds / mlmc_seconds)
+        if mlmc_seconds > 0.0
+        else float("inf"),
+        mean_z=float(mean_z),
+        sigma_z=float(sigma_z),
+        mlmc=mlmc,
+    )
+
+
+def format_speedup_report(report: MLMCSpeedupReport) -> str:
+    """Human-readable rendering of a :class:`MLMCSpeedupReport`."""
+    lines = [
+        f"circuit {report.circuit}, rank r = {report.r}, "
+        f"target eps = {report.eps:.3f} ps",
+        f"  single-level KLE MC : N = {report.single_num_samples}, "
+        f"mean = {report.single_mean:.2f} ps, std = {report.single_std:.2f} "
+        f"ps, {report.single_seconds:.3f} s",
+        f"  surrogate MLMC      : N = {report.mlmc.total_samples} "
+        f"(levels {[s.num_samples for s in report.mlmc.levels]}), "
+        f"mean = {report.mlmc.mean:.2f} ps, std = {report.mlmc.std:.2f} ps, "
+        f"{report.mlmc_seconds:.3f} s",
+        f"  matched accuracy    : mean z = {report.mean_z:.2f}, "
+        f"sigma z = {report.sigma_z:.2f} "
+        f"({'OK' if report.matched else 'MISMATCH'})",
+        f"  speedup             : {report.speedup:.2f}x",
+    ]
+    return "\n".join(lines)

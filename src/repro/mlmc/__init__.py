@@ -1,0 +1,57 @@
+"""Multilevel Monte-Carlo estimation of circuit delay statistics.
+
+Telescopes the worst-delay mean/σ (and optionally smoothed quantiles)
+over a ladder of correlated approximations —
+
+    E[Q_L] = E[Q_0] + Σ_{l=1..L} E[Q_l − Q_{l−1}] —
+
+with prefix-coupled fine/coarse draws sharing the KLE's iid normals ξ and
+Giles-style adaptive sample allocation ``N_l ∝ sqrt(V_l / C_l)``.
+
+Hierarchies: :class:`KLERankHierarchy` (truncation ranks of one cached
+eigensolve), :class:`MeshKLEHierarchy` (coarse→fine die triangulations),
+and :class:`SurrogateKLEHierarchy` (linearized response-surface timer →
+full Monte-Carlo STA, the model-fidelity ladder that delivers the
+matched-accuracy speedup).  Entry point: :class:`MLMCEstimator`.
+"""
+
+from repro.mlmc.diagnostics import (
+    ConvergenceRates,
+    MLMCLevelStats,
+    TelescopingCheck,
+    fit_convergence_rates,
+    format_level_table,
+    format_mlmc_report,
+    telescoping_check,
+)
+from repro.mlmc.estimator import MLMCEstimator, MLMCResult, optimal_allocation
+from repro.mlmc.hierarchy import (
+    KLERankHierarchy,
+    LevelHierarchy,
+    LevelModel,
+    MeshKLEHierarchy,
+    SurrogateKLEHierarchy,
+)
+from repro.mlmc.sampler import CoupledDraw, CoupledLevelSampler
+from repro.mlmc.surrogate import LinearDelaySurrogate
+
+__all__ = [
+    "ConvergenceRates",
+    "CoupledDraw",
+    "CoupledLevelSampler",
+    "KLERankHierarchy",
+    "LevelHierarchy",
+    "LevelModel",
+    "LinearDelaySurrogate",
+    "MLMCEstimator",
+    "MLMCLevelStats",
+    "MLMCResult",
+    "MeshKLEHierarchy",
+    "SurrogateKLEHierarchy",
+    "TelescopingCheck",
+    "fit_convergence_rates",
+    "format_level_table",
+    "format_mlmc_report",
+    "optimal_allocation",
+    "telescoping_check",
+]

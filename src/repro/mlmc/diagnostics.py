@@ -1,0 +1,251 @@
+"""MLMC estimator diagnostics: level tables, rate fits, consistency checks.
+
+Three views of a finished (or in-flight) multilevel run:
+
+- per-level statistics (``N_l``, mean correction ``E[Y_l]``, variance
+  ``V_l``, cost ``C_l``) — the quantities the adaptive allocator consumed;
+- weak/strong convergence-rate fits ``|E[Y_l]| ∝ M_l^{−α}``,
+  ``V_l ∝ M_l^{−β}``, ``C_l ∝ M_l^{γ}`` against the hierarchy's level
+  parameter ``M_l`` (rank or triangle count), in the spirit of the
+  Giles complexity theorem and the Griebel–Li truncation analysis;
+- the telescoping consistency check: the *fine* stream of level ``l−1``
+  and the *coarse* stream of level ``l`` sample the same model on
+  independent draws, so their means must agree within Monte-Carlo error.
+  A violated check means the coupling is broken (wrong prefix, mismatched
+  discretization) — the classic silent MLMC failure mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MLMCLevelStats:
+    """Frozen summary of one level's accumulated statistics.
+
+    ``mean_correction`` and ``variance`` describe ``Y_l`` (``Q_0`` itself
+    at level 0); ``fine_*`` / ``coarse_*`` describe the raw coupled
+    streams ``Q_l`` and ``Q_{l−1}`` at this level.  ``coarse_*`` are
+    ``None`` at level 0.  Costs are wall-clock seconds.
+    """
+
+    level: int
+    label: str
+    parameter: float
+    timer: str
+    num_samples: int
+    mean_correction: float
+    variance: float
+    cost_per_sample: float
+    generate_seconds: float
+    evaluate_seconds: float
+    fine_mean: float
+    fine_sem: float
+    fine_std: float
+    coarse_mean: Optional[float] = None
+    coarse_sem: Optional[float] = None
+    fine_quantiles: Dict[float, float] = field(default_factory=dict)
+    coarse_quantiles: Dict[float, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Generation plus evaluation wall-clock at this level."""
+        return self.generate_seconds + self.evaluate_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-serializable per-level record (benchmark payloads)."""
+        record = {
+            "level": self.level,
+            "label": self.label,
+            "parameter": self.parameter,
+            "timer": self.timer,
+            "num_samples": self.num_samples,
+            "mean_correction": self.mean_correction,
+            "variance": self.variance,
+            "cost_per_sample_seconds": self.cost_per_sample,
+            "seconds": round(self.total_seconds, 6),
+            "fine_mean": self.fine_mean,
+            "fine_std": self.fine_std,
+        }
+        if self.coarse_mean is not None:
+            record["coarse_mean"] = self.coarse_mean
+        if self.fine_quantiles:
+            record["fine_quantiles"] = {
+                str(q): v for q, v in self.fine_quantiles.items()
+            }
+        return record
+
+
+@dataclass(frozen=True)
+class TelescopingCheck:
+    """Result of the adjacent-pair mean-consistency check.
+
+    ``z_scores[l-1]`` compares level ``l−1``'s fine mean with level
+    ``l``'s coarse mean in units of their combined standard error; the
+    check passes when every score stays below ``threshold``.
+    """
+
+    z_scores: Tuple[float, ...]
+    threshold: float
+    passed: bool
+
+    @property
+    def max_z(self) -> float:
+        """Largest observed pair z-score (0.0 for a single level)."""
+        return max(self.z_scores) if self.z_scores else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the check."""
+        return {
+            "z_scores": list(self.z_scores),
+            "threshold": self.threshold,
+            "max_z": self.max_z,
+            "passed": self.passed,
+        }
+
+
+@dataclass(frozen=True)
+class ConvergenceRates:
+    """Fitted power-law rates vs the level parameter ``M_l``.
+
+    ``alpha`` (weak): ``|E[Y_l]| ∝ M_l^{−α}``; ``beta`` (strong):
+    ``V_l ∝ M_l^{−β}``; ``gamma`` (cost): ``C_l ∝ M_l^{γ}``.  Fields are
+    ``None`` when the hierarchy offers fewer than two usable correction
+    levels (or the level parameters coincide, as in a pure model ladder).
+    """
+
+    alpha: Optional[float]
+    beta: Optional[float]
+    gamma: Optional[float]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the fitted rates."""
+        return {"alpha": self.alpha, "beta": self.beta, "gamma": self.gamma}
+
+
+def telescoping_check(
+    levels: Sequence[MLMCLevelStats], *, threshold: float = 4.0
+) -> TelescopingCheck:
+    """Check inter-level mean consistency of the coupled streams.
+
+    For each adjacent pair, the fine stream at level ``l−1`` and the
+    coarse stream at level ``l`` are independent estimates of the same
+    model mean ``E[Q_{l−1}]``; their difference scaled by the combined
+    standard error is ~N(0, 1) when the telescoping identity holds.
+    """
+    if threshold <= 0.0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    scores: List[float] = []
+    for below, above in zip(levels, levels[1:]):
+        if above.coarse_mean is None or above.coarse_sem is None:
+            raise ValueError(
+                f"level {above.level} lacks coarse statistics; "
+                "cannot check telescoping consistency"
+            )
+        spread = float(np.hypot(below.fine_sem, above.coarse_sem))
+        gap = abs(below.fine_mean - above.coarse_mean)
+        if spread <= 0.0:
+            scores.append(0.0 if gap == 0.0 else float("inf"))
+        else:
+            scores.append(gap / spread)
+    return TelescopingCheck(
+        z_scores=tuple(scores),
+        threshold=float(threshold),
+        passed=all(z <= threshold for z in scores),
+    )
+
+
+def _log_fit_slope(
+    x: Sequence[float], y: Sequence[float]
+) -> Optional[float]:
+    """Least-squares slope of ``log2 y`` vs ``log2 x`` (None if unusable)."""
+    pairs = [
+        (float(a), float(b))
+        for a, b in zip(x, y)
+        if a > 0.0 and b > 0.0 and np.isfinite(a) and np.isfinite(b)
+    ]
+    if len(pairs) < 2 or len({a for a, _ in pairs}) < 2:
+        return None
+    xs = np.log2([a for a, _ in pairs])
+    ys = np.log2([b for _, b in pairs])
+    slope = float(np.polyfit(xs, ys, 1)[0])
+    return slope
+
+
+def fit_convergence_rates(
+    levels: Sequence[MLMCLevelStats],
+) -> ConvergenceRates:
+    """Fit α/β/γ from the correction levels (``l ≥ 1``).
+
+    Level 0 carries ``Q_0`` itself (no correction) and is excluded; rates
+    are ``None`` when fewer than two correction levels with distinct
+    level parameters are available.
+    """
+    corrections = [s for s in levels if s.level >= 1]
+    params = [s.parameter for s in corrections]
+    alpha = _log_fit_slope(
+        params, [abs(s.mean_correction) for s in corrections]
+    )
+    beta = _log_fit_slope(params, [s.variance for s in corrections])
+    gamma = _log_fit_slope(params, [s.cost_per_sample for s in corrections])
+    return ConvergenceRates(
+        alpha=None if alpha is None else -alpha,
+        beta=None if beta is None else -beta,
+        gamma=gamma,
+    )
+
+
+def format_level_table(levels: Sequence[MLMCLevelStats]) -> str:
+    """Render the per-level ``N_l / E[Y_l] / V_l / C_l`` table."""
+    lines = [
+        f"{'lvl':>3} {'model':<14} {'timer':<7} {'N_l':>9} "
+        f"{'E[Y_l]':>12} {'V_l':>12} {'C_l (s)':>11} {'cost (s)':>9}",
+        "-" * 82,
+    ]
+    for s in levels:
+        lines.append(
+            f"{s.level:>3} {s.label:<14} {s.timer:<7} {s.num_samples:>9} "
+            f"{s.mean_correction:>12.4f} {s.variance:>12.5g} "
+            f"{s.cost_per_sample:>11.3e} {s.total_seconds:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_mlmc_report(result) -> str:
+    """Human-readable report of an :class:`~repro.mlmc.MLMCResult`."""
+    lines = [format_level_table(result.levels), ""]
+    lines.append(
+        f"telescoped mean = {result.mean:.4f} ps  "
+        f"(± {result.estimator_sem:.4f} SEM)"
+    )
+    lines.append(f"telescoped std  = {result.std:.4f} ps")
+    for q, value in sorted(result.quantiles.items()):
+        lines.append(f"P{100 * q:g} (smoothed)  = {value:.4f} ps")
+    check = result.consistency
+    lines.append(
+        f"telescoping consistency: max |z| = {check.max_z:.2f} "
+        f"(threshold {check.threshold:g}) -> "
+        f"{'PASS' if check.passed else 'FAIL'}"
+    )
+    rates = result.rates
+    if rates is not None and any(
+        v is not None for v in (rates.alpha, rates.beta, rates.gamma)
+    ):
+        parts = []
+        for tag, value in (
+            ("alpha", rates.alpha),
+            ("beta", rates.beta),
+            ("gamma", rates.gamma),
+        ):
+            parts.append(f"{tag} = {'n/a' if value is None else f'{value:.2f}'}")
+        lines.append("fitted rates: " + ", ".join(parts))
+    lines.append(
+        f"total cost: {result.total_seconds:.3f} s over "
+        f"{result.total_samples} samples "
+        f"({result.setup_seconds:.3f} s surrogate/setup)"
+    )
+    return "\n".join(lines)

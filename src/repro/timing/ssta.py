@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.place.placer import Placement
 from repro.timing.library import STATISTICAL_PARAMETERS, CellLibrary
 from repro.timing.sta import STAEngine, STAResult
 from repro.utils.rng import SeedLike, as_generator
+from repro.utils.streaming import P2Quantile
 
 
 class StreamingSTAResult:
@@ -49,15 +50,43 @@ class StreamingSTAResult:
     (``mean_worst_delay`` / ``std_worst_delay`` / ``output_sigma`` /
     ``output_mean``); per-sample arrays (``worst_delay``,
     ``end_arrivals``) are intentionally absent.
+
+    ``quantiles`` optionally attaches a streaming P² estimator
+    (:class:`~repro.utils.streaming.P2Quantile`) per requested quantile, so
+    chunked/MLMC runs can report e.g. the 95th-percentile delay without
+    retaining samples; read it back with :meth:`quantile_worst_delay`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, quantiles: Sequence[float] = ()) -> None:
         self.num_samples = 0
         self._worst_mean = 0.0
         self._worst_m2 = 0.0
         self._end_names: Optional[Tuple[str, ...]] = None
         self._end_mean: Optional[np.ndarray] = None
         self._end_m2: Optional[np.ndarray] = None
+        self._quantiles: Dict[float, P2Quantile] = {
+            float(q): P2Quantile(float(q)) for q in quantiles
+        }
+
+    @property
+    def tracked_quantiles(self) -> Tuple[float, ...]:
+        """The quantile levels this result tracks (constructor order)."""
+        return tuple(self._quantiles)
+
+    def quantile_worst_delay(self, q: float) -> float:
+        """Streaming P² estimate of the worst-delay ``q``-quantile (ps).
+
+        ``q`` must be one of the levels passed at construction; unlike the
+        exact :meth:`STAResult.quantile_worst_delay` this carries the P²
+        approximation error (vanishing as the stream grows).
+        """
+        try:
+            return self._quantiles[float(q)].value()
+        except KeyError:
+            raise KeyError(
+                f"quantile {q} not tracked; requested at construction: "
+                f"{sorted(self._quantiles)}"
+            ) from None
 
     def update(self, chunk: STAResult) -> None:
         """Merge one chunk's :class:`STAResult` into the running moments."""
@@ -84,6 +113,9 @@ class StreamingSTAResult:
         delta_v = mean_b_v - self._end_mean
         self._end_mean += delta_v * (n_b / n)
         self._end_m2 += m2_b_v + delta_v * delta_v * (n_a * n_b / n)
+
+        for estimator in self._quantiles.values():
+            estimator.update(chunk.worst_delay)
 
         self.num_samples = n
 
@@ -274,6 +306,7 @@ class MonteCarloSSTA:
         *,
         seed: SeedLike = None,
         chunk_size: Optional[int] = None,
+        quantiles: Sequence[float] = (),
     ) -> SSTARun:
         """Algorithm 1 + STA: the exact, full-dimensional reference."""
         return self._run_flow(
@@ -282,6 +315,7 @@ class MonteCarloSSTA:
             num_samples,
             seed,
             chunk_size,
+            quantiles,
         )
 
     def run_kle(
@@ -290,6 +324,7 @@ class MonteCarloSSTA:
         *,
         seed: SeedLike = None,
         chunk_size: Optional[int] = None,
+        quantiles: Sequence[float] = (),
     ) -> SSTARun:
         """Algorithm 2 + STA: the reduced-dimensionality kernel flow."""
         return self._run_flow(
@@ -298,6 +333,7 @@ class MonteCarloSSTA:
             num_samples,
             seed,
             chunk_size,
+            quantiles,
         )
 
     def _run_flow(
@@ -307,6 +343,7 @@ class MonteCarloSSTA:
         num_samples: int,
         seed: SeedLike,
         chunk_size: Optional[int],
+        quantiles: Sequence[float] = (),
     ) -> SSTARun:
         """Run one flow, either in one shot or as streamed chunks.
 
@@ -316,7 +353,10 @@ class MonteCarloSSTA:
         runs never materialize the full sample matrices.  The chunks are
         merged as running moments (:class:`StreamingSTAResult`); the
         resulting statistics are those of a single ``N``-sample run over
-        the concatenated stream.
+        the concatenated stream.  ``quantiles`` selects worst-delay
+        quantile levels to track: streamed runs estimate them with P²
+        (no retention), unchunked runs report them exactly — both through
+        ``quantile_worst_delay``.
         """
         if chunk_size is None or num_samples <= chunk_size:
             generated = generator.generate(
@@ -346,7 +386,7 @@ class MonteCarloSSTA:
             if wire_generator is not None
             else None
         )
-        moments = StreamingSTAResult()
+        moments = StreamingSTAResult(quantiles=quantiles)
         sample_seconds = 0.0
         timer_seconds = 0.0
         done = 0

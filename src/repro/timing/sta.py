@@ -79,6 +79,14 @@ class STAResult:
         """Sample standard deviation of the worst delay (ps)."""
         return float(np.std(self.worst_delay))
 
+    def quantile_worst_delay(self, q: float) -> float:
+        """Exact empirical ``q``-quantile of the worst delay (ps).
+
+        Duck-types :meth:`StreamingSTAResult.quantile_worst_delay`; here
+        all samples are retained, so the quantile is the exact sorted one.
+        """
+        return float(np.quantile(self.worst_delay, q))
+
     def output_sigma(self) -> Dict[str, float]:
         """Per-end-point delay standard deviation (σ_d of Fig. 6)."""
         return {

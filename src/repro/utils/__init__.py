@@ -1,4 +1,4 @@
-"""Shared utilities: RNG handling, linear algebra, and the artifact cache."""
+"""Shared utilities: RNG, linear algebra, streaming stats, artifact cache."""
 
 from repro.utils.artifact_cache import (
     ArtifactCache,
@@ -18,11 +18,14 @@ from repro.utils.linalg import (
     nearest_psd,
     symmetric_generalized_eigh,
 )
+from repro.utils.streaming import P2Quantile, RunningMoments
 
 __all__ = [
     "ArtifactCache",
     "CacheStats",
     "CorruptArtifactError",
+    "P2Quantile",
+    "RunningMoments",
     "as_generator",
     "cache_stats",
     "cholesky_with_jitter",

@@ -38,6 +38,20 @@ def test_cli_all_keyword_selects_everything():
     del argparse
 
 
+def test_cli_help_lists_mlmc_exhibit(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "mlmc" in out
+    assert "table1" in out
+
+
+def test_mlmc_exhibit_registered():
+    assert "mlmc" in EXHIBITS
+    assert "mlmc" in RUNNERS
+
+
 def test_cli_rejects_unknown_exhibit():
     with pytest.raises(SystemExit):
         main(["fig99"])

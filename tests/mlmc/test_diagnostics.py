@@ -1,0 +1,121 @@
+"""Diagnostics unit tests: consistency check and convergence-rate fits."""
+
+import numpy as np
+import pytest
+
+from repro.mlmc import (
+    MLMCLevelStats,
+    fit_convergence_rates,
+    format_level_table,
+    telescoping_check,
+)
+
+
+def _stats(level, parameter, *, fine_mean, fine_sem, coarse_mean=None,
+           coarse_sem=None, mean_correction=1.0, variance=1.0,
+           cost=1e-3, n=100):
+    return MLMCLevelStats(
+        level=level,
+        label=f"lvl-{level}",
+        parameter=parameter,
+        timer="sta",
+        num_samples=n,
+        mean_correction=mean_correction,
+        variance=variance,
+        cost_per_sample=cost,
+        generate_seconds=0.01,
+        evaluate_seconds=0.09,
+        fine_mean=fine_mean,
+        fine_sem=fine_sem,
+        fine_std=fine_sem * np.sqrt(n),
+        coarse_mean=coarse_mean,
+        coarse_sem=coarse_sem,
+    )
+
+
+class TestTelescopingCheck:
+    def test_consistent_levels_pass(self):
+        levels = [
+            _stats(0, 8, fine_mean=100.0, fine_sem=1.0),
+            _stats(1, 16, fine_mean=102.0, fine_sem=1.0,
+                   coarse_mean=100.5, coarse_sem=1.0),
+        ]
+        check = telescoping_check(levels)
+        assert check.passed
+        assert check.z_scores[0] == pytest.approx(0.5 / np.hypot(1, 1))
+
+    def test_broken_coupling_fails(self):
+        levels = [
+            _stats(0, 8, fine_mean=100.0, fine_sem=0.5),
+            _stats(1, 16, fine_mean=102.0, fine_sem=0.5,
+                   coarse_mean=110.0, coarse_sem=0.5),
+        ]
+        check = telescoping_check(levels)
+        assert not check.passed
+        assert check.max_z > 10.0
+
+    def test_missing_coarse_stats_rejected(self):
+        levels = [
+            _stats(0, 8, fine_mean=1.0, fine_sem=0.1),
+            _stats(1, 16, fine_mean=1.0, fine_sem=0.1),
+        ]
+        with pytest.raises(ValueError, match="coarse statistics"):
+            telescoping_check(levels)
+
+    def test_single_level_is_vacuous(self):
+        check = telescoping_check([_stats(0, 8, fine_mean=1.0, fine_sem=0.1)])
+        assert check.passed and check.max_z == 0.0
+
+
+class TestConvergenceRates:
+    def test_known_power_laws_recovered(self):
+        levels = [_stats(0, 4, fine_mean=1.0, fine_sem=0.1)]
+        for index, m in enumerate([8, 16, 32], start=1):
+            levels.append(
+                _stats(
+                    index,
+                    m,
+                    fine_mean=1.0,
+                    fine_sem=0.1,
+                    coarse_mean=1.0,
+                    coarse_sem=0.1,
+                    mean_correction=m ** -1.0,
+                    variance=m ** -2.0,
+                    cost=1e-4 * m,
+                )
+            )
+        rates = fit_convergence_rates(levels)
+        assert rates.alpha == pytest.approx(1.0, abs=1e-9)
+        assert rates.beta == pytest.approx(2.0, abs=1e-9)
+        assert rates.gamma == pytest.approx(1.0, abs=1e-9)
+
+    def test_equal_parameters_yield_none(self):
+        """Model-fidelity ladders (same rank at both levels) can't be fit."""
+        levels = [
+            _stats(0, 25, fine_mean=1.0, fine_sem=0.1),
+            _stats(1, 25, fine_mean=1.0, fine_sem=0.1,
+                   coarse_mean=1.0, coarse_sem=0.1),
+        ]
+        rates = fit_convergence_rates(levels)
+        assert rates.alpha is None
+        assert rates.beta is None
+        assert rates.gamma is None
+
+    def test_too_few_correction_levels_yield_none(self):
+        levels = [
+            _stats(0, 8, fine_mean=1.0, fine_sem=0.1),
+            _stats(1, 16, fine_mean=1.0, fine_sem=0.1,
+                   coarse_mean=1.0, coarse_sem=0.1),
+        ]
+        assert fit_convergence_rates(levels).beta is None
+
+
+def test_format_level_table_lists_all_levels():
+    levels = [
+        _stats(0, 8, fine_mean=1.0, fine_sem=0.1),
+        _stats(1, 16, fine_mean=1.0, fine_sem=0.1,
+               coarse_mean=1.0, coarse_sem=0.1),
+    ]
+    table = format_level_table(levels)
+    assert "lvl-0" in table and "lvl-1" in table
+    assert "E[Y_l]" in table and "V_l" in table

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.circuit",
     "repro.place",
     "repro.timing",
+    "repro.mlmc",
     "repro.experiments",
     "repro.utils",
     "repro.viz",

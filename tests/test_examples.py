@@ -53,6 +53,13 @@ def test_analysis_examples(name, capsys):
     assert "better fit: gaussian" in out
 
 
+def test_mlmc_flow_example(capsys):
+    out = run_example("mlmc_flow.py", argv=["c880", "400"], capsys=capsys)
+    assert "telescoping consistency" in out
+    assert "surrogate MLMC" in out
+    assert "speedup" in out
+
+
 def test_advanced_variation_example(capsys):
     out = run_example("advanced_variation.py", argv=["256"], capsys=capsys)
     assert "isotropic? False" in out

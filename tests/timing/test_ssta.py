@@ -214,6 +214,31 @@ def test_chunked_run_reproducible(harness):
     assert a.sta.std_worst_delay() == b.sta.std_worst_delay()
 
 
+def test_streaming_quantile_matches_exact_sorted(harness):
+    """Differential check of the P² streamed quantile: a chunked run's
+    streamed 95th percentile must agree with the exact sorted quantile of
+    an unchunked run at the same size (within combined MC noise)."""
+    chunked = harness.run_kle(
+        2000, seed=17, chunk_size=250, quantiles=(0.95, 0.5)
+    )
+    exact = harness.run_kle(2000, seed=17)
+    assert set(chunked.sta.tracked_quantiles) == {0.95, 0.5}
+    for q in (0.5, 0.95):
+        streamed = chunked.sta.quantile_worst_delay(q)
+        sorted_exact = exact.sta.quantile_worst_delay(q)
+        assert streamed == pytest.approx(sorted_exact, rel=0.02)
+    assert (
+        chunked.sta.quantile_worst_delay(0.95)
+        > chunked.sta.quantile_worst_delay(0.5)
+    )
+
+
+def test_streaming_quantile_untracked_level_rejected(harness):
+    run = harness.run_kle(200, seed=4, chunk_size=100, quantiles=(0.9,))
+    with pytest.raises(KeyError, match="not tracked"):
+        run.sta.quantile_worst_delay(0.75)
+
+
 def test_chunked_wire_variation_run(wire_harness):
     run = wire_harness.run_kle(300, seed=5, chunk_size=90)
     assert run.sta.num_samples == 300

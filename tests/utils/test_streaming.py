@@ -1,0 +1,63 @@
+"""Differential tests for the streaming statistics utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils.streaming import P2Quantile, RunningMoments
+
+
+class TestRunningMoments:
+    def test_matches_numpy_across_batches(self, rng):
+        values = rng.normal(5.0, 2.0, size=1000)
+        moments = RunningMoments()
+        for chunk in np.array_split(values, 13):
+            moments.push(chunk)
+        assert moments.count == 1000
+        assert moments.mean == pytest.approx(values.mean(), rel=1e-12)
+        assert moments.variance == pytest.approx(
+            values.var(ddof=1), rel=1e-10
+        )
+        assert moments.std == pytest.approx(values.std(), rel=1e-10)
+        assert moments.sem == pytest.approx(
+            np.sqrt(values.var(ddof=1) / 1000), rel=1e-10
+        )
+
+    def test_empty_and_singleton(self):
+        moments = RunningMoments()
+        assert moments.count == 0
+        assert moments.sem == 0.0
+        moments.push(np.array([3.5]))
+        assert moments.mean == 3.5
+        assert moments.sem == float("inf")
+
+
+class TestP2Quantile:
+    @pytest.mark.parametrize("p", [0.5, 0.9, 0.95])
+    def test_differential_vs_exact_quantile(self, rng, p):
+        """P² must track the exact sorted quantile on a large stream."""
+        values = rng.normal(0.0, 1.0, size=20_000)
+        estimator = P2Quantile(p)
+        for chunk in np.array_split(values, 37):
+            estimator.update(chunk)
+        exact = float(np.quantile(values, p))
+        assert estimator.value() == pytest.approx(exact, abs=0.03)
+
+    def test_small_streams_are_exact(self, rng):
+        estimator = P2Quantile(0.5)
+        estimator.update(np.array([3.0, 1.0, 2.0]))
+        assert estimator.value() == 2.0
+        assert np.isnan(P2Quantile(0.5).value())
+
+    def test_skewed_distribution(self, rng):
+        """Heavier tails: the marker heights must still converge."""
+        values = rng.lognormal(0.0, 1.0, size=30_000)
+        estimator = P2Quantile(0.95)
+        estimator.update(values)
+        exact = float(np.quantile(values, 0.95))
+        assert estimator.value() == pytest.approx(exact, rel=0.03)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
