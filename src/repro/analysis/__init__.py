@@ -1,0 +1,78 @@
+"""Project-aware static analysis for the reproduction codebase.
+
+Three cooperating pieces:
+
+- :mod:`repro.analysis.engine` — a dependency-free AST rule engine
+  (registry, per-file visitor dispatch, ``# repro-lint:`` suppressions);
+- :mod:`repro.analysis.rules` — the project rules enforcing RNG
+  discipline, cache immutability, float-comparison hygiene, exception
+  hygiene, cache-key purity and the strict-typing gate;
+- :mod:`repro.analysis.cabi` — the C-ABI cross-checker that parses the
+  exported prototypes in ``repro/timing/sta_kernel.c`` and verifies the
+  ctypes ``argtypes``/``restype`` declaration in
+  :mod:`repro.timing.native` against them.
+
+Run the whole gate with ``python -m repro.analysis`` (see
+:mod:`repro.analysis.cli`); CI's ``static-analysis`` job does exactly
+that plus mypy.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cabi import (
+    ABIMismatch,
+    CParameter,
+    CPrototype,
+    UnsupportedDeclarationError,
+    check_c_abi,
+    check_function,
+    ctype_for,
+    describe_ctype,
+    parse_c_prototypes,
+)
+from repro.analysis.engine import (
+    SYNTAX_ERROR_RULE_ID,
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    register_rule,
+    rule_catalog,
+)
+
+# Importing the rules module registers every project rule.
+from repro.analysis import rules as rules  # noqa: F401
+from repro.analysis.cli import main
+from repro.analysis.reporters import format_human, format_json, report_payload
+
+__all__ = [
+    "ABIMismatch",
+    "CParameter",
+    "CPrototype",
+    "FileContext",
+    "Rule",
+    "SYNTAX_ERROR_RULE_ID",
+    "UnsupportedDeclarationError",
+    "Violation",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "check_c_abi",
+    "check_function",
+    "ctype_for",
+    "describe_ctype",
+    "format_human",
+    "format_json",
+    "iter_python_files",
+    "main",
+    "parse_c_prototypes",
+    "register_rule",
+    "report_payload",
+    "rule_catalog",
+    "rules",
+]

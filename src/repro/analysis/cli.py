@@ -1,0 +1,131 @@
+"""``python -m repro.analysis`` — the repo's static-analysis gate.
+
+Runs the project lint rules over the given paths (default:
+``src/repro``) and, unless ``--no-cabi`` is passed, cross-checks the
+native kernel's C ABI against its ctypes declaration.  Exit status:
+
+- ``0`` — no violations and (when checked) no ABI mismatches;
+- ``1`` — at least one violation or ABI mismatch;
+- ``2`` — usage error (unknown rule id, missing path).
+
+This is the command CI's ``static-analysis`` job runs; it is also the
+local pre-commit check (`python -m repro.analysis`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.cabi import ABIMismatch, check_c_abi
+from repro.analysis.engine import (
+    Violation,
+    analyze_paths,
+    iter_python_files,
+    rule_catalog,
+)
+from repro.analysis.reporters import format_human, format_json
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.analysis`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Project-aware static analysis: reproducibility lint rules "
+            "plus the sta_kernel.c / ctypes C-ABI cross-check."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--no-cabi",
+        action="store_true",
+        help="skip the C-ABI cross-check",
+    )
+    parser.add_argument(
+        "--cabi-only",
+        action="store_true",
+        help="run only the C-ABI cross-check (no Python lint)",
+    )
+    return parser
+
+
+def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for entry in rule_catalog():
+            print(f"{entry['id']}: {entry['title']}")
+            print(f"    {entry['rationale']}")
+        return 0
+
+    violations: List[Violation] = []
+    files_checked = 0
+    if not options.cabi_only:
+        try:
+            files_checked = sum(1 for _ in iter_python_files(options.paths))
+            violations = analyze_paths(
+                options.paths,
+                select=_split_ids(options.select),
+                ignore=_split_ids(options.ignore),
+            )
+        except FileNotFoundError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return 2
+
+    mismatches: Optional[List[ABIMismatch]] = None
+    if options.cabi_only or not options.no_cabi:
+        mismatches = check_c_abi()
+
+    if options.json:
+        print(
+            format_json(
+                violations, mismatches, files_checked=files_checked
+            )
+        )
+    else:
+        print(
+            format_human(
+                violations, mismatches, files_checked=files_checked
+            )
+        )
+    return 1 if violations or mismatches else 0

@@ -1,0 +1,379 @@
+"""Rule engine for the project linter (``python -m repro.analysis``).
+
+The repo's headline guarantees — bitwise-identical compiled/MLMC paths,
+prefix-coupled RNG streams, checksummed immutable cache artifacts, a
+ctypes-loaded C kernel — rest on *disciplines* (seed threading, no
+global RNG state, no mutation of cached arrays, stable cache keys) that
+ordinary test suites only probe pointwise.  This module provides the
+static side of that enforcement: a small, dependency-free AST rule
+engine with
+
+- a **rule registry** (:func:`register_rule`, :func:`all_rules`) that
+  project rules in :mod:`repro.analysis.rules` add themselves to;
+- **per-file visitor dispatch** — each file is parsed once, every rule
+  declares the node types it is interested in, and a single ordered
+  walk feeds each node to exactly the interested rules (plus
+  ``begin_file``/``finish_file`` hooks for whole-file rules);
+- **suppressions** — ``# repro-lint: disable=RULE[,RULE...]`` trailing a
+  line silences those rules on that line, and
+  ``# repro-lint: disable-file=RULE[,RULE...]`` anywhere in a file
+  silences them for the whole file (``all`` matches every rule);
+- plain-data :class:`Violation` results that the reporters in
+  :mod:`repro.analysis.reporters` render as human or JSON output.
+
+The engine knows nothing about the individual rules; importing
+:mod:`repro.analysis.rules` (done by :mod:`repro.analysis`) populates
+the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+    Union,
+)
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "SYNTAX_ERROR_RULE_ID",
+    "Violation",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "register_rule",
+    "rule_catalog",
+]
+
+#: Pseudo-rule id attached to files that fail to parse at all.
+SYNTAX_ERROR_RULE_ID = "REPRO-SYNTAX"
+
+_SUPPRESS_LINE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-\s]+)"
+)
+_SUPPRESS_FILE = re.compile(
+    r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\-\s]+)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-serializable form (used by the ``--json`` reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """Per-file state shared by every rule during one analysis pass.
+
+    Exposes the parsed tree, raw source lines, and lazily built parent
+    links so rules can ask structural questions (``parent``,
+    ``enclosing_functions``) without each re-walking the tree.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines: List[str] = source.splitlines()
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (``None`` for the module)."""
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield ``node``'s ancestors innermost-first, ending at the module."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_functions(
+        self, node: ast.AST
+    ) -> Iterator[Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
+        """Yield the function definitions lexically containing ``node``,
+        innermost first."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield ancestor
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement any of the three
+    hooks.  ``interests`` is the tuple of AST node types routed to
+    :meth:`visit`; rules that need whole-file context (scope tracking,
+    cross-statement state) use :meth:`begin_file`/:meth:`finish_file`
+    instead and may leave ``interests`` empty.  A fresh instance is
+    created per analysis run, and ``begin_file`` is called before each
+    file, so instance attributes are safe per-file scratch space.
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    interests: Tuple[Type[ast.AST], ...] = ()
+
+    def begin_file(self, ctx: FileContext) -> None:
+        """Reset per-file state.  Default: nothing."""
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Violation]:
+        """Check one node of an interested type.  Default: no findings."""
+        return ()
+
+    def finish_file(self, ctx: FileContext) -> Iterable[Violation]:
+        """Emit findings needing whole-file state.  Default: none."""
+        return ()
+
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` for ``node`` under this rule."""
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.id,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``rule_class`` to the global registry.
+
+    Rule ids must be unique and non-empty; double registration of the
+    same id is a programming error and raises immediately.
+    """
+    rule_id = rule_class.id
+    if not rule_id:
+        raise ValueError(f"rule {rule_class.__name__} has no id")
+    existing = _REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_catalog() -> List[Dict[str, str]]:
+    """Id/title/rationale of every registered rule (for ``--list-rules``)."""
+    return [
+        {
+            "id": rule_id,
+            "title": _REGISTRY[rule_id].title,
+            "rationale": " ".join(_REGISTRY[rule_id].rationale.split()),
+        }
+        for rule_id in sorted(_REGISTRY)
+    ]
+
+
+def _parse_rule_list(raw: str) -> Set[str]:
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+def _suppressions(source: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """Extract (file-wide, per-line) suppression sets from the source.
+
+    Works on raw lines rather than the token stream so that files with
+    syntax errors can still carry suppressions; the directive pattern is
+    strict enough that accidental matches inside strings are unlikely —
+    and harmless, since suppressions only ever silence findings.
+    """
+    file_wide: Set[str] = set()
+    per_line: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "repro-lint" not in line:
+            continue
+        file_match = _SUPPRESS_FILE.search(line)
+        if file_match:
+            file_wide |= _parse_rule_list(file_match.group(1))
+        line_match = _SUPPRESS_LINE.search(line)
+        if line_match:
+            per_line.setdefault(lineno, set()).update(
+                _parse_rule_list(line_match.group(1))
+            )
+    return file_wide, per_line
+
+
+def _suppressed(
+    violation: Violation,
+    file_wide: Set[str],
+    per_line: Dict[int, Set[str]],
+) -> bool:
+    for scope in (file_wide, per_line.get(violation.line, set())):
+        if "all" in scope or violation.rule_id in scope:
+            return True
+    return False
+
+
+def _select_rules(
+    rules: Sequence[Rule],
+    select: Optional[Iterable[str]],
+    ignore: Optional[Iterable[str]],
+) -> List[Rule]:
+    chosen = list(rules)
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {rule.id for rule in chosen}
+        if unknown:
+            raise ValueError(f"unknown rule ids in select: {sorted(unknown)}")
+        chosen = [rule for rule in chosen if rule.id in wanted]
+    if ignore is not None:
+        dropped = set(ignore)
+        chosen = [rule for rule in chosen if rule.id not in dropped]
+    return chosen
+
+
+def _ordered_walk(tree: ast.AST) -> Iterator[ast.AST]:
+    """Depth-first, document-order walk (``ast.walk`` is breadth-first)."""
+    stack: List[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Run the rule engine over one source string.
+
+    Returns violations sorted by location.  A file that does not parse
+    yields a single :data:`SYNTAX_ERROR_RULE_ID` violation — a lint run
+    must fail loudly on unparseable library code, not skip it.
+    """
+    active = _select_rules(all_rules() if rules is None else rules, select, ignore)
+    file_wide, per_line = _suppressions(source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        violation = Violation(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule_id=SYNTAX_ERROR_RULE_ID,
+            message=f"file does not parse: {exc.msg}",
+        )
+        return [] if _suppressed(violation, file_wide, per_line) else [violation]
+
+    ctx = FileContext(path, source, tree)
+    dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+    for rule in active:
+        rule.begin_file(ctx)
+        for node_type in rule.interests:
+            dispatch.setdefault(node_type, []).append(rule)
+
+    found: List[Violation] = []
+    if dispatch:
+        for node in _ordered_walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                found.extend(rule.visit(node, ctx))
+    for rule in active:
+        found.extend(rule.finish_file(ctx))
+
+    kept = [v for v in found if not _suppressed(v, file_wide, per_line)]
+    return sorted(kept)
+
+
+def analyze_file(
+    path: Union[str, Path],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Analyze one Python file on disk."""
+    text = Path(path).read_text(encoding="utf-8")
+    return analyze_source(
+        text, str(path), rules=rules, select=select, ignore=ignore
+    )
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> Iterator[Path]:
+    """Expand files/directories into the Python files to analyze.
+
+    Directories are walked recursively in sorted order; ``__pycache__``
+    and hidden directories are skipped.  Missing paths raise
+    ``FileNotFoundError`` — a CI gate pointed at a typo must not pass
+    vacuously.
+    """
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            yield root
+        elif root.is_dir():
+            for candidate in sorted(root.rglob("*.py")):
+                parts = candidate.relative_to(root).parts
+                if any(
+                    part == "__pycache__" or part.startswith(".")
+                    for part in parts[:-1]
+                ):
+                    continue
+                yield candidate
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+
+
+def analyze_paths(
+    paths: Iterable[Union[str, Path]],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Analyze every Python file under ``paths`` (files or directories)."""
+    found: List[Violation] = []
+    for file_path in iter_python_files(paths):
+        found.extend(
+            analyze_file(file_path, rules=rules, select=select, ignore=ignore)
+        )
+    return sorted(found)

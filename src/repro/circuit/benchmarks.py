@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.circuit.bench_parser import parse_bench
 from repro.circuit.generate import generate_circuit
@@ -97,7 +97,9 @@ def _seed_for(name: str) -> int:
     return zlib.crc32(name.encode("utf-8"))
 
 
-def export_benchmarks(directory: str, names=None) -> "list[str]":
+def export_benchmarks(
+    directory: str, names: Optional[Sequence[str]] = None
+) -> "list[str]":
     """Write benchmark circuits as ``.bench`` files (for external tools).
 
     Exports ``names`` (default: c17 plus the whole Table 1 set; the

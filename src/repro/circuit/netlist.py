@@ -49,7 +49,7 @@ class Gate:
     inputs: Tuple[str, ...]
     output: str
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.gate_type not in ALL_GATE_TYPES:
             raise ValueError(
                 f"unknown gate type {self.gate_type!r}; "

@@ -92,7 +92,9 @@ def empirical_correlogram(
 
     centered = samples - samples.mean(axis=0, keepdims=True)
     stds = centered.std(axis=0)
-    stds[stds == 0.0] = 1.0
+    # Exact-zero guard on a computed std: a constant column yields a
+    # bitwise 0.0 and must not be divided by.
+    stds[stds == 0.0] = 1.0  # repro-lint: disable=REPRO-FLOAT001
     normalized = centered / stds
     corr = (normalized.T @ normalized) / samples.shape[0]
 
@@ -276,7 +278,9 @@ def detect_anisotropy(
 
     centered = samples - samples.mean(axis=0, keepdims=True)
     stds = centered.std(axis=0)
-    stds[stds == 0.0] = 1.0
+    # Exact-zero guard on a computed std: a constant column yields a
+    # bitwise 0.0 and must not be divided by.
+    stds[stds == 0.0] = 1.0  # repro-lint: disable=REPRO-FLOAT001
     normalized = centered / stds
     corr = (normalized.T @ normalized) / samples.shape[0]
 

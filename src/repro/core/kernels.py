@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 import scipy.special
@@ -313,7 +313,9 @@ class MaternBesselKernel(IsotropicKernel):
             )
         # kv(nu, 0) diverges but the product limit is Γ(ν) 2^{ν-1}, giving
         # K(0) = 1; patch the removable singularity (and underflow at huge v).
-        values = np.where(bv == 0.0, 1.0, values)
+        # Exact v == 0 is the removable singularity itself, not a
+        # tolerance question.
+        values = np.where(bv == 0.0, 1.0, values)  # repro-lint: disable=REPRO-FLOAT001
         values = np.nan_to_num(values, nan=1.0, posinf=1.0, neginf=0.0)
         return np.clip(values, 0.0, 1.0)
 
@@ -471,7 +473,11 @@ class NonstationaryVarianceKernel(CovarianceKernel):
         per-location standard deviations.
     """
 
-    def __init__(self, base: CovarianceKernel, sigma_fn):
+    def __init__(
+        self,
+        base: CovarianceKernel,
+        sigma_fn: Callable[[np.ndarray], np.ndarray],
+    ):
         self.base = base
         self.sigma_fn = sigma_fn
 

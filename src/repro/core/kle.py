@@ -101,7 +101,7 @@ class KLEResult:
     kernel: Optional[CovarianceKernel] = None
     _locator_cache: list = field(default_factory=list, repr=False, compare=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         eigenvalues = np.asarray(self.eigenvalues, dtype=float)
         d_vectors = np.asarray(self.d_vectors, dtype=float)
         if eigenvalues.ndim != 1:

@@ -16,7 +16,10 @@ area at evaluation time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Tuple
+
+if TYPE_CHECKING:
+    from repro.mesh.mesh import TriangleMesh
 
 import numpy as np
 
@@ -52,7 +55,9 @@ class TriangleRule:
                             np.asarray(c, float)])
         return self.barycentric @ corners
 
-    def points_on_mesh(self, mesh) -> Tuple[np.ndarray, np.ndarray]:
+    def points_on_mesh(
+        self, mesh: "TriangleMesh"
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """All quadrature nodes and area-scaled weights over a mesh.
 
         Returns
@@ -70,7 +75,14 @@ class TriangleRule:
         weights = self.weights[None, :] * mesh.areas[:, None]
         return points.reshape(-1, 2), weights.reshape(-1)
 
-    def integrate(self, func, a, b, c, area: float) -> float:
+    def integrate(
+        self,
+        func: Callable[[np.ndarray], float],
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+        area: float,
+    ) -> float:
         """``∫_Δ func`` over a single physical triangle."""
         pts = self.points_on(a, b, c)
         vals = np.asarray([func(p) for p in pts], dtype=float)

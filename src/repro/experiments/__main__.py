@@ -15,6 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -126,7 +127,7 @@ RUNNERS = {
 }
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the DATE 2008 paper's figures and table.",

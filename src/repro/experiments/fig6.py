@@ -14,11 +14,12 @@ random estimate) — our reproduction keeps exactly that structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.galerkin import solve_kle
 from repro.experiments.common import (
     DIE_BOUNDS,
+    ExperimentContext,
     default_num_samples,
     get_context,
     kle_cache,
@@ -26,7 +27,8 @@ from repro.experiments.common import (
 from repro.field.sampling import CholeskySampleGenerator, KLESampleGenerator
 from repro.mesh.refine import refine_to_triangle_count
 from repro.timing.library import STATISTICAL_PARAMETERS
-from repro.timing.sta import STAEngine
+from repro.place.placer import Placement
+from repro.timing.sta import STAEngine, STAResult
 from repro.timing.ssta import sigma_error_over_outputs
 from repro.utils.rng import SeedLike
 
@@ -50,7 +52,12 @@ class Fig6Data:
     num_samples: int
 
 
-def _reference_sta(context, circuit_name: str, num_samples: int, seed):
+def _reference_sta(
+    context: ExperimentContext,
+    circuit_name: str,
+    num_samples: int,
+    seed: SeedLike,
+) -> Tuple[STAEngine, Placement, STAResult]:
     netlist = context.circuit(circuit_name)
     placement = context.placement(circuit_name)
     engine = STAEngine(netlist, placement)
@@ -155,7 +162,9 @@ def fig6b_error_vs_n(
     )
 
 
-def _worst_delay_sigma_error(reference, candidate) -> float:
+def _worst_delay_sigma_error(
+    reference: STAResult, candidate: STAResult
+) -> float:
     ref = reference.std_worst_delay()
     if ref <= 1e-12:
         return 0.0

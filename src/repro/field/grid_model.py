@@ -39,7 +39,7 @@ class GridModel:
     cells_y: int
     correlation: np.ndarray
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         xmin, ymin, xmax, ymax = self.bounds
         if xmax <= xmin or ymax <= ymin:
             raise ValueError("bounds must describe a positive-area rectangle")
@@ -156,7 +156,9 @@ class GridPCA:
         self._check_r(r)
         clipped = np.clip(self.eigenvalues, 0.0, None)
         total = float(clipped.sum())
-        if total == 0.0:
+        # Clipped eigenvalue sum is bitwise 0.0 only for the degenerate
+        # all-zero spectrum; exact comparison intended.
+        if total == 0.0:  # repro-lint: disable=REPRO-FLOAT001
             return 0.0
         return float(clipped[:r].sum() / total)
 

@@ -177,7 +177,9 @@ class RandomField:
             )
         centered = samples - samples.mean(axis=0, keepdims=True)
         stds = centered.std(axis=0)
-        stds[stds == 0.0] = 1.0
+        # Exact-zero guard on a computed std: a constant column yields
+        # a bitwise 0.0 and must not be divided by.
+        stds[stds == 0.0] = 1.0  # repro-lint: disable=REPRO-FLOAT001
         centered = centered / stds
         corr = (centered.T @ centered) / len(samples)
         diff = points[:, None, :] - points[None, :, :]

@@ -334,7 +334,9 @@ def _mix_parameters(
     for j, name in enumerate(names):
         result = lower[j, 0] * raw[names[0]]
         for k in range(1, j + 1):
-            if lower[j, k] != 0.0:
+            # Structural sparsity of the Cholesky factor: entries are
+            # assigned exactly 0.0, never computed, so exact != is right.
+            if lower[j, k] != 0.0:  # repro-lint: disable=REPRO-FLOAT001
                 result = result + lower[j, k] * raw[names[k]]
         mixed[name] = result
     return mixed

@@ -11,7 +11,7 @@ the original *Triangle* tool chain the paper used.
 from __future__ import annotations
 
 import os
-from typing import Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
@@ -86,7 +86,7 @@ def load_mesh_triangle_format(basename: str) -> TriangleMesh:
     if not os.path.exists(node_path) or not os.path.exists(ele_path):
         raise FileNotFoundError(f"missing {node_path} or {ele_path}")
 
-    def data_lines(path: str):
+    def data_lines(path: str) -> Iterator[List[str]]:
         with open(path) as handle:
             for line in handle:
                 stripped = line.split("#", 1)[0].strip()

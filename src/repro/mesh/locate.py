@@ -15,7 +15,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.mesh.geometry import point_in_triangle
-from repro.mesh.mesh import TriangleMesh
+from repro.mesh.mesh import PointLike, TriangleMesh
 
 
 class TriangleLocator:
@@ -109,7 +109,7 @@ class TriangleLocator:
             min(max(cy, 0), self._cells - 1),
         )
 
-    def locate(self, point) -> int:
+    def locate(self, point: PointLike) -> int:
         """Index of a triangle containing ``point``.
 
         Points on shared edges may match several triangles; the lowest

@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.mesh import geometry
+
+#: Anything accepted as a 2-D point: an ``(x, y)`` pair or array.
+PointLike = Union[Sequence[float], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -186,7 +189,9 @@ class TriangleMesh:
         sides = self.side_lengths()
         la, lb, lc = sides[:, 0], sides[:, 1], sides[:, 2]
 
-        def angles(opposite, s1, s2):
+        def angles(
+            opposite: np.ndarray, s1: np.ndarray, s2: np.ndarray
+        ) -> np.ndarray:
             cos_val = (s1 * s1 + s2 * s2 - opposite * opposite) / (2.0 * s1 * s2)
             return np.degrees(np.arccos(np.clip(cos_val, -1.0, 1.0)))
 
@@ -237,7 +242,7 @@ class TriangleMesh:
         """Undirected edges used by exactly one triangle (the domain boundary)."""
         return [edge for edge, count in self.edge_use_counts().items() if count == 1]
 
-    def contains_point(self, point) -> bool:
+    def contains_point(self, point: PointLike) -> bool:
         """Slow (O(nt)) point-in-mesh test; use :mod:`repro.mesh.locate` in loops."""
         px, py = float(point[0]), float(point[1])
         for a, b, c in self.iter_triangle_points():

@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.mesh.geometry import point_in_triangle
-from repro.mesh.mesh import TriangleMesh
+from repro.mesh.mesh import PointLike, TriangleMesh
 
 
 class _QuadNode:
@@ -123,7 +123,7 @@ class QuadtreeLocator:
             node = node.children[index]
         return node
 
-    def locate(self, point) -> int:
+    def locate(self, point: PointLike) -> int:
         """Index of a triangle containing ``point`` (lowest index wins)."""
         px, py = float(point[0]), float(point[1])
         leaf = self._leaf_for(px, py)

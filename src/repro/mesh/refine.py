@@ -24,7 +24,9 @@ via the apex of the single adjacent triangle.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.mesh.delaunay import IncrementalDelaunay
 from repro.mesh.geometry import (
@@ -33,6 +35,9 @@ from repro.mesh.geometry import (
     triangle_circumcenter,
     triangle_min_angle,
 )
+
+#: Size-field callback: ``f(x, y)`` -> maximum triangle area near (x, y).
+AreaLimitFn = Callable[[float, float], float]
 from repro.mesh.mesh import TriangleMesh
 
 Segment = Tuple[int, int]
@@ -54,7 +59,7 @@ class _Refiner:
         min_angle_degrees: float,
         max_area: Optional[float],
         max_vertices: int,
-        area_limit_fn=None,
+        area_limit_fn: Optional[AreaLimitFn] = None,
     ):
         if min_angle_degrees >= 33.0:
             raise ValueError(
@@ -250,7 +255,7 @@ def refine_rectangle(
     min_angle_degrees: float = 28.0,
     max_area: Optional[float] = None,
     max_vertices: int = 100_000,
-    area_limit_fn=None,
+    area_limit_fn: Optional[AreaLimitFn] = None,
 ) -> TriangleMesh:
     """Quality-triangulate an axis-aligned rectangle.
 
@@ -280,13 +285,13 @@ def refine_rectangle(
 
 
 def gate_density_area_limit(
-    gate_locations,
+    gate_locations: np.ndarray,
     bounds: "tuple[float, float, float, float]",
     *,
     dense_area: float,
     sparse_area: float,
     grid_cells: int = 16,
-):
+) -> AreaLimitFn:
     """Build a size field concentrating triangles where gates cluster.
 
     Counts gates in a ``grid_cells × grid_cells`` histogram and maps cell

@@ -39,9 +39,12 @@ from repro.mlmc.diagnostics import (
 )
 from repro.mlmc.hierarchy import LevelHierarchy, LevelModel
 from repro.mlmc.sampler import CoupledDraw, CoupledLevelSampler
+from repro.circuit.netlist import Netlist
 from repro.mlmc.surrogate import LinearDelaySurrogate
+from repro.place.placer import Placement
+from repro.timing.library import CellLibrary
 from repro.timing.sta import STAEngine
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, spawn_seed_sequences
 from repro.utils.streaming import P2Quantile, RunningMoments
 
 #: Additive per-level seed shift, mirroring ``_shift_seed`` in repro.timing.
@@ -205,11 +208,11 @@ class MLMCEstimator:
 
     def __init__(
         self,
-        netlist,
-        placement,
+        netlist: Netlist,
+        placement: Placement,
         hierarchy: LevelHierarchy,
         *,
-        library=None,
+        library: Optional[CellLibrary] = None,
         engine: str = "compiled",
         surrogate_step: float = 1.0,
     ):
@@ -275,7 +278,10 @@ class MLMCEstimator:
                 return [seed]
             return [seed, *seed.spawn(count - 1)]
         if seed is None:
-            return [np.random.default_rng() for _ in range(count)]
+            # One entropy draw at the root, then deterministic spawning —
+            # the levels stay mutually independent without any unseeded
+            # default_rng() in library code.
+            return list(spawn_seed_sequences(None, count))
         base = int(seed)
         return [
             np.random.SeedSequence(base + level * _LEVEL_SEED_SHIFT)

@@ -84,7 +84,7 @@ class LevelModel:
     parameter: float
     timer: str = "sta"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.timer not in LEVEL_TIMERS:
             raise ValueError(
                 f"timer must be one of {LEVEL_TIMERS}, got {self.timer!r}"
@@ -207,7 +207,7 @@ class MeshKLEHierarchy(LevelHierarchy):
         *,
         rank: int = 25,
         num_eigenpairs: Optional[int] = None,
-        cache=None,
+        cache: Union[ArtifactCache, str, None] = None,
     ):
         from repro.core.galerkin import solve_kle
 

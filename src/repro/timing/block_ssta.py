@@ -87,7 +87,9 @@ class CanonicalDelay:
         """Covariance through the shared global basis only."""
         return float(np.dot(self.coefficients, other.coefficients))
 
-    def sample(self, xi: np.ndarray, rng=None) -> np.ndarray:
+    def sample(
+        self, xi: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
         """Evaluate on explicit global-RV samples (validation hook)."""
         values = self.mean + xi @ self.coefficients
         if self.local_variance > 0.0 and rng is not None:

@@ -72,7 +72,7 @@ chunked and unchunked compiled runs are bitwise identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -421,7 +421,7 @@ class CompiledTimingProgram:
         # Concatenate the per-level arrays in level-major, gate-major
         # order (pins grouped per gate), which is exactly the traversal
         # order of sta_kernel.c's sequential pin counter.
-        def _cat(parts: List[np.ndarray], dtype) -> np.ndarray:
+        def _cat(parts: List[np.ndarray], dtype: type) -> np.ndarray:
             if parts:
                 return np.ascontiguousarray(
                     np.concatenate(parts).astype(dtype, copy=False)
@@ -637,7 +637,7 @@ class CompiledTimingProgram:
 
     def _execute_native(
         self,
-        kernel,
+        kernel: Callable[..., None],
         num_samples: int,
         parameter_products: Optional[
             Sequence[Tuple[np.ndarray, np.ndarray]]
@@ -681,10 +681,10 @@ class CompiledTimingProgram:
         p_f64 = ctypes.POINTER(ctypes.c_double)
         p_i64 = ctypes.POINTER(ctypes.c_int64)
 
-        def pd(a: np.ndarray):
+        def pd(a: np.ndarray) -> Any:
             return a.ctypes.data_as(p_f64)
 
-        def pi(a: np.ndarray):
+        def pi(a: np.ndarray) -> Any:
             return a.ctypes.data_as(p_i64)
 
         for start in range(0, num_samples, block):

@@ -86,7 +86,7 @@ class GateTimingModel:
     m2: float
     direction: np.ndarray
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         direction = np.asarray(self.direction, dtype=float)
         if direction.shape != (len(STATISTICAL_PARAMETERS),):
             raise ValueError(
@@ -261,7 +261,7 @@ def _build_base_models() -> Dict[str, GateTimingModel]:
     Directions: delay rises with L, Vt, tox and falls with W; dynamic
     (XOR-like) gates lean harder on Vt, buffers on L.
     """
-    def direction(l, w, vt, tox):
+    def direction(l: float, w: float, vt: float, tox: float) -> np.ndarray:
         return np.array([l, w, vt, tox], dtype=float)
 
     models = {

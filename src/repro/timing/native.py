@@ -26,10 +26,16 @@ import os
 import subprocess
 import tempfile
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional
 
 _SOURCE = Path(__file__).with_name("sta_kernel.c")
 _CFLAGS = ["-O3", "-march=native", "-shared", "-fPIC"]
+
+#: Name of the exported kernel entry point in ``sta_kernel.c``.
+KERNEL_FUNCTION = "sta_eval_gates"
+
+#: ctypes result type of the kernel (``void``).
+KERNEL_RESTYPE = None
 
 _cached: Optional[object] = None
 _cached_key: Optional[str] = None
@@ -46,7 +52,20 @@ def _build_key(source: bytes) -> str:
     return digest.hexdigest()[:16]
 
 
-def _argtypes():
+def kernel_source_path() -> Path:
+    """Path of the C source the kernel is compiled from."""
+    return _SOURCE
+
+
+def kernel_argtypes() -> List[type]:
+    """The ctypes ``argtypes`` declaration for :data:`KERNEL_FUNCTION`.
+
+    This list is the Python side of the C ABI contract with
+    ``sta_kernel.c``; :mod:`repro.analysis.cabi` cross-checks it against
+    the parsed C prototype (arity, pointer width, element dtype) so a
+    skewed edit fails the lint gate instead of corrupting memory in the
+    native hot path.
+    """
     i64 = ctypes.c_int64
     p_i64 = ctypes.POINTER(ctypes.c_int64)
     p_f64 = ctypes.POINTER(ctypes.c_double)
@@ -98,7 +117,9 @@ def load_kernel() -> Optional[object]:
                 timeout=120,
             )
             os.replace(tmp, lib_path)
-        except Exception:
+        except (OSError, subprocess.SubprocessError, ValueError):
+            # No compiler, compile error, timeout, or an unwritable cache
+            # dir — all mean "stay on the numpy path", never a crash.
             if tmp is not None:
                 try:
                     os.unlink(tmp)
@@ -107,10 +128,10 @@ def load_kernel() -> Optional[object]:
             return None
     try:
         lib = ctypes.CDLL(str(lib_path))
-        fn = lib.sta_eval_gates
+        fn = getattr(lib, KERNEL_FUNCTION)
     except (OSError, AttributeError):
         return None
-    fn.argtypes = _argtypes()
-    fn.restype = None
+    fn.argtypes = kernel_argtypes()
+    fn.restype = KERNEL_RESTYPE
     _cached, _cached_key = fn, key
     return fn

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from repro.timing.library import STATISTICAL_PARAMETERS, CellLibrary
 from repro.timing.sta import STAEngine, STAResult
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.streaming import P2Quantile
+
+#: Either flavour of correlated-field sample generator the flow accepts.
+SampleGenerator = Union[CholeskySampleGenerator, KLESampleGenerator]
 
 
 class StreamingSTAResult:
@@ -199,7 +202,7 @@ def _normalize_kernels(
 
 def _normalize_kles(
     kles: Union[KLEResult, Mapping[str, KLEResult]],
-    parameter_names,
+    parameter_names: Iterable[str],
 ) -> Dict[str, KLEResult]:
     if isinstance(kles, KLEResult):
         return {name: kles for name in parameter_names}
@@ -280,7 +283,12 @@ class MonteCarloSSTA:
                 r=max(self.kle_generator.r.values()),
             )
 
-    def _wire_scales_from(self, generator, num_samples, seed):
+    def _wire_scales_from(
+        self,
+        generator: "SampleGenerator",
+        num_samples: int,
+        seed: SeedLike,
+    ) -> Tuple[Dict[str, np.ndarray], float]:
         """Draw normalized wire fields and convert to positive scales."""
         generated = generator.generate(
             self._net_locations, num_samples, seed=seed
@@ -338,8 +346,8 @@ class MonteCarloSSTA:
 
     def _run_flow(
         self,
-        generator,
-        wire_generator,
+        generator: "SampleGenerator",
+        wire_generator: "Optional[SampleGenerator]",
         num_samples: int,
         seed: SeedLike,
         chunk_size: Optional[int],

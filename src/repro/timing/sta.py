@@ -31,7 +31,7 @@ axis in bounded chunks, so paper-scale ``N = 100K`` runs never hold all
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -413,13 +413,13 @@ class STAEngine:
         r_scales = wire_scales.get("R") if wire_scales else None
         c_scales = wire_scales.get("C") if wire_scales else None
 
-        def net_load(net: str):
+        def net_load(net: str) -> Union[float, np.ndarray]:
             wire = self._wires[net]
             if c_scales is None:
                 return wire.total_cap_ff
             return wire.pin_cap_ff + c_scales[:, net_col[net]] * wire.wire_cap_ff
 
-        def pin_wire_delay(net: str, slot: int):
+        def pin_wire_delay(net: str, slot: int) -> Union[float, np.ndarray]:
             wire = self._wires[net]
             if net_col is None:
                 return wire.sink_delay_ps[slot]
@@ -544,7 +544,7 @@ class STAEngine:
     def _statistical_projection(
         self,
         parameter_samples: Optional[Mapping[str, np.ndarray]],
-    ):
+    ) -> Tuple[int, Callable[[int], np.ndarray]]:
         """Return ``(N, u_by_gate)`` where ``u_by_gate(g)`` is the rank-one
         projection ``u = wᵀ p`` for gate ``g`` over all samples."""
         names, matrices, num_samples = self._validated_samples(
@@ -584,7 +584,7 @@ class STAEngine:
         self,
         wire_scales: Optional[Mapping[str, np.ndarray]],
         num_samples: int,
-    ):
+    ) -> Tuple[Optional[Dict[str, np.ndarray]], int]:
         """Check wire-scale shapes/keys; reconcile the sample count."""
         if not wire_scales:
             return None, num_samples

@@ -20,11 +20,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.timing.library import Technology
+
+#: Scalar or per-sample ``(N,)`` scale factor (broadcast by the wire model).
+ArrayOrFloat = Union[float, np.ndarray]
 
 LN9 = math.log(9.0)
 
@@ -111,7 +114,9 @@ def bakoglu_slew(elmore_delay_ps: float) -> float:
     return LN9 * elmore_delay_ps
 
 
-def peri_slew(slew_in_ps, elmore_delay_ps):
+def peri_slew(
+    slew_in_ps: ArrayOrFloat, elmore_delay_ps: ArrayOrFloat
+) -> np.ndarray:
     """PERI ramp-input slew at a sink: root-sum-square composition.
 
     Vectorized over numpy arrays in either argument.
@@ -151,7 +156,7 @@ class WireModel:
     pin_cap_ff: float = 0.0
     sink_res_cap_split: np.ndarray = None  # type: ignore[assignment]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.sink_res_cap_split is None:
             # Degenerate split: attribute the whole delay to the R-only
             # term (exact when wire cap is zero).
@@ -161,7 +166,9 @@ class WireModel:
             )
             object.__setattr__(self, "sink_res_cap_split", split)
 
-    def scaled_sink_delay(self, r_scale, c_scale):
+    def scaled_sink_delay(
+        self, r_scale: ArrayOrFloat, c_scale: ArrayOrFloat
+    ) -> np.ndarray:
         """Per-sink Elmore delay under wire R/C scale factors.
 
         ``r_scale`` and ``c_scale`` broadcast (scalars or ``(N,)`` sample
@@ -174,7 +181,7 @@ class WireModel:
         rpin_term = self.sink_res_cap_split[:, 1]
         return r_scale * c_scale * rc_term + r_scale * rpin_term
 
-    def scaled_total_cap(self, c_scale):
+    def scaled_total_cap(self, c_scale: ArrayOrFloat) -> np.ndarray:
         """Driver load under a wire-capacitance scale factor."""
         c_scale = np.asarray(c_scale, dtype=float)
         return self.pin_cap_ff + c_scale * self.wire_cap_ff

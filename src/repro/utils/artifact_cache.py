@@ -184,9 +184,23 @@ def _unpack_container(blob: bytes, *, schema: str) -> Dict[str, np.ndarray]:
         raise CorruptArtifactError("payload checksum mismatch", kind="checksum")
     try:
         with np.load(io.BytesIO(payload), allow_pickle=False) as data:
-            return {key: np.array(data[key]) for key in data.files}
+            arrays = {key: np.array(data[key]) for key in data.files}
     except DECODE_ERRORS as exc:
         raise CorruptArtifactError(f"undecodable payload: {exc}")
+    return _freeze(arrays)
+
+
+def _freeze(arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Mark every array read-only, in place, and return the dict.
+
+    Cache entries are shared state: the same dict may be handed to several
+    callers (and a mutation would silently diverge from the bytes on
+    disk), so writing through a loaded array must raise immediately
+    rather than corrupt later runs.
+    """
+    for array in arrays.values():
+        array.flags.writeable = False
+    return arrays
 
 
 def write_artifact(
@@ -331,7 +345,9 @@ class ArtifactCache:
             return cached
         arrays = factory()
         self.store(key, arrays, schema=schema)
-        return arrays
+        # Freeze the fresh result too, so a cold run raises on the same
+        # mutation a warm (cache-hit) run would — no hit/miss divergence.
+        return _freeze(arrays)
 
     # -- internals ------------------------------------------------------
     def _quarantine(self, path: str) -> None:

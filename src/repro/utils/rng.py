@@ -41,3 +41,25 @@ def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
     if isinstance(seed, np.random.SeedSequence):
         return [np.random.default_rng(s) for s in seed.spawn(count)]
     return [np.random.default_rng(s) for s in np.random.SeedSequence(seed).spawn(count)]
+
+
+def spawn_seed_sequences(
+    seed: Union[None, int, np.random.SeedSequence], count: int
+) -> List[np.random.SeedSequence]:
+    """Split ``seed`` into ``count`` independent :class:`SeedSequence` s.
+
+    The deferred-seeding counterpart of :func:`spawn_generators`: use it
+    when each child stream must itself remain spawnable (e.g. one
+    persistent stream per MLMC level, each of which seeds many batches).
+    With ``seed=None`` the root sequence draws fresh OS entropy *once*,
+    so the children are still mutually independent — this is the one
+    sanctioned way to build unseeded-but-coupled stream families.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return list(root.spawn(count))

@@ -150,7 +150,7 @@ def correlation_profile(
     lo = min(0.0, float(np.nanmin(empirical)))
     hi = max(1.0, float(np.nanmax(empirical)))
 
-    def place(d, value, char):
+    def place(d: float, value: float, char: str) -> None:
         if not np.isfinite(value):
             return
         col = min(int(d / max(d_max, 1e-300) * (width - 1)), width - 1)

@@ -1,0 +1,124 @@
+"""Exit-code and output-format tests for ``python -m repro.analysis``."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+CLEAN_SOURCE = '"""Module."""\n\n\ndef f(x: int) -> int:\n    return x\n'
+BROKEN_SOURCE = (
+    '"""Module."""\n'
+    "import numpy as np\n\n\n"
+    "def f(x):\n"
+    "    np.random.seed(0)\n"
+    "    return x == 0.25\n"
+)
+
+
+@pytest.fixture()
+def clean_tree(tmp_path):
+    (tmp_path / "mod.py").write_text(CLEAN_SOURCE)
+    return tmp_path
+
+
+@pytest.fixture()
+def broken_tree(tmp_path):
+    (tmp_path / "mod.py").write_text(BROKEN_SOURCE)
+    return tmp_path
+
+
+def test_clean_tree_exits_zero(clean_tree, capsys):
+    assert main([str(clean_tree), "--no-cabi"]) == 0
+    out = capsys.readouterr().out
+    assert "repro-lint: clean (1 file(s) checked)" in out
+
+
+def test_violations_exit_one(broken_tree, capsys):
+    assert main([str(broken_tree), "--no-cabi"]) == 1
+    out = capsys.readouterr().out
+    assert "REPRO-RNG001" in out
+    assert "REPRO-FLOAT001" in out
+    assert "REPRO-TYPE001" in out
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope"), "--no-cabi"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_unknown_select_id_is_usage_error(clean_tree, capsys):
+    code = main([str(clean_tree), "--no-cabi", "--select", "NO-SUCH"])
+    assert code == 2
+    assert "unknown rule ids" in capsys.readouterr().err
+
+
+def test_select_narrows_to_one_rule(broken_tree, capsys):
+    code = main(
+        [str(broken_tree), "--no-cabi", "--select", "REPRO-FLOAT001"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REPRO-FLOAT001" in out
+    assert "REPRO-RNG001" not in out
+
+
+def test_ignore_drops_rules(broken_tree, capsys):
+    code = main(
+        [
+            str(broken_tree),
+            "--no-cabi",
+            "--ignore",
+            "REPRO-RNG001,REPRO-FLOAT001,REPRO-TYPE001",
+        ]
+    )
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_json_report_is_machine_readable(broken_tree, capsys):
+    assert main([str(broken_tree), "--no-cabi", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert payload["summary"]["clean"] is False
+    assert payload["cabi"]["checked"] is False
+    rules_hit = {v["rule"] for v in payload["violations"]}
+    assert "REPRO-RNG001" in rules_hit
+    assert {entry["id"] for entry in payload["rules"]} >= rules_hit
+
+
+def test_json_clean_report(clean_tree, capsys):
+    assert main([str(clean_tree), "--no-cabi", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["clean"] is True
+    assert payload["violations"] == []
+
+
+def test_list_rules_prints_catalog(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "REPRO-RNG001",
+        "REPRO-RNG002",
+        "REPRO-CACHE001",
+        "REPRO-FLOAT001",
+        "REPRO-DEF001",
+        "REPRO-EXC001",
+        "REPRO-TIME001",
+        "REPRO-TYPE001",
+    ):
+        assert rule_id in out
+
+
+def test_cabi_only_skips_lint(broken_tree, capsys):
+    # Lint violations in the tree are ignored; only the (passing) live
+    # ABI check decides the exit code.
+    assert main([str(broken_tree), "--cabi-only"]) == 0
+    out = capsys.readouterr().out
+    assert "REPRO-RNG001" not in out
+
+
+def test_cabi_check_runs_by_default(clean_tree, capsys):
+    assert main([str(clean_tree)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out

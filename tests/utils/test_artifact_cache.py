@@ -261,3 +261,49 @@ def test_stats_snapshot_is_detached(cache):
     cache.load("k", schema=SCHEMA)
     assert snapshot["hits"] == 0
     assert cache.stats.hits == 1
+
+
+# ----------------------------------------------------------------------
+# Read-only guarantee: loaded entries are frozen shared state.
+# ----------------------------------------------------------------------
+def test_loaded_arrays_are_read_only(cache):
+    cache.store("entry", fresh(), schema=SCHEMA)
+    arrays = cache.load("entry", schema=SCHEMA)
+    for name, array in arrays.items():
+        assert not array.flags.writeable, name
+    with pytest.raises(ValueError, match="read-only"):
+        arrays["values"][0, 0] = 99.0
+    # The bytes on disk (and any future load) are unaffected either way.
+    assert_roundtrip(cache.load("entry", schema=SCHEMA))
+
+
+def test_read_artifact_arrays_are_read_only(tmp_path):
+    path = str(tmp_path / "direct.npz")
+    write_artifact(path, fresh(), schema=SCHEMA)
+    arrays = read_artifact(path, schema=SCHEMA)
+    assert all(not a.flags.writeable for a in arrays.values())
+    with pytest.raises(ValueError, match="read-only"):
+        arrays["values"] += 1.0
+
+
+def test_get_or_create_is_read_only_on_both_paths(cache):
+    # Cold path: the factory result comes back frozen...
+    cold = cache.get_or_create("entry", fresh, schema=SCHEMA)
+    with pytest.raises(ValueError, match="read-only"):
+        cold["values"][:] = 0.0
+    # ...and the warm (cache-hit) path behaves identically.
+    warm = cache.get_or_create(
+        "entry", lambda: pytest.fail("factory on a warm hit"), schema=SCHEMA
+    )
+    with pytest.raises(ValueError, match="read-only"):
+        warm["values"][:] = 0.0
+    assert_roundtrip(warm)
+
+
+def test_read_only_copy_is_writable_again(cache):
+    # The sanctioned escape hatch: np.array(...) gives a private copy.
+    cache.store("entry", fresh(), schema=SCHEMA)
+    arrays = cache.load("entry", schema=SCHEMA)
+    copy = np.array(arrays["values"])
+    copy[0, 0] = 99.0
+    assert arrays["values"][0, 0] == 0.0

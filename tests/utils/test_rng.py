@@ -57,3 +57,50 @@ def test_spawn_generators_count_zero():
 def test_spawn_generators_negative_count():
     with pytest.raises(ValueError, match="non-negative"):
         spawn_generators(1, -1)
+
+
+def test_spawn_seed_sequences_reproducible_for_int_seed():
+    from repro.utils.rng import spawn_seed_sequences
+
+    first = spawn_seed_sequences(11, 3)
+    second = spawn_seed_sequences(11, 3)
+    for a, b in zip(first, second):
+        assert np.array_equal(
+            np.random.default_rng(a).standard_normal(6),
+            np.random.default_rng(b).standard_normal(6),
+        )
+
+
+def test_spawn_seed_sequences_children_are_independent():
+    from repro.utils.rng import spawn_seed_sequences
+
+    children = spawn_seed_sequences(5, 3)
+    draws = [np.random.default_rng(c).standard_normal(8) for c in children]
+    assert not np.array_equal(draws[0], draws[1])
+    assert not np.array_equal(draws[1], draws[2])
+
+
+def test_spawn_seed_sequences_none_draws_entropy_once():
+    from repro.utils.rng import spawn_seed_sequences
+
+    children = spawn_seed_sequences(None, 2)
+    draws = [np.random.default_rng(c).standard_normal(8) for c in children]
+    assert not np.array_equal(draws[0], draws[1])
+
+
+def test_spawn_seed_sequences_consumes_spawn_state():
+    from repro.utils.rng import spawn_seed_sequences
+
+    root = np.random.SeedSequence(9)
+    first = spawn_seed_sequences(root, 2)
+    second = spawn_seed_sequences(root, 2)
+    a = np.random.default_rng(first[0]).standard_normal(4)
+    b = np.random.default_rng(second[0]).standard_normal(4)
+    assert not np.array_equal(a, b)
+
+
+def test_spawn_seed_sequences_negative_count():
+    from repro.utils.rng import spawn_seed_sequences
+
+    with pytest.raises(ValueError, match="non-negative"):
+        spawn_seed_sequences(0, -1)
