@@ -31,29 +31,73 @@ from repro.analysis.cabi import (
     parse_c_prototypes,
 )
 from repro.analysis.engine import (
+    LINT_RULE_ID,
     SYNTAX_ERROR_RULE_ID,
     FileContext,
+    FileReport,
     Rule,
     Violation,
     all_rules,
     analyze_file,
     analyze_paths,
     analyze_source,
+    analyze_source_report,
     iter_python_files,
+    known_rule_ids,
+    project_check_ids,
+    register_project_check,
     register_rule,
     rule_catalog,
+    stale_suppressions,
 )
 
-# Importing the rules module registers every project rule.
+# Importing the rules module registers every per-file project rule;
+# importing dataflow/concurrency registers the whole-program check ids.
 from repro.analysis import rules as rules  # noqa: F401
+from repro.analysis.concurrency import (
+    GLOBAL_RULE_ID,
+    RNG_RULE_ID,
+    check_concurrency,
+)
+from repro.analysis.dataflow import (
+    ArrayFact,
+    DTypeParam,
+    FunctionSummary,
+    NATIVE_RULE_ID,
+    NativeBoundaryChecker,
+    check_native_boundary,
+)
+from repro.analysis.gate import GateReport, analyze_project_paths
+from repro.analysis.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    Resolver,
+)
 from repro.analysis.cli import main
 from repro.analysis.reporters import format_human, format_json, report_payload
 
 __all__ = [
     "ABIMismatch",
+    "ArrayFact",
     "CParameter",
     "CPrototype",
+    "ClassInfo",
+    "DTypeParam",
     "FileContext",
+    "FileReport",
+    "FunctionInfo",
+    "FunctionSummary",
+    "GLOBAL_RULE_ID",
+    "GateReport",
+    "LINT_RULE_ID",
+    "ModuleInfo",
+    "NATIVE_RULE_ID",
+    "NativeBoundaryChecker",
+    "ProjectModel",
+    "RNG_RULE_ID",
+    "Resolver",
     "Rule",
     "SYNTAX_ERROR_RULE_ID",
     "UnsupportedDeclarationError",
@@ -61,18 +105,26 @@ __all__ = [
     "all_rules",
     "analyze_file",
     "analyze_paths",
+    "analyze_project_paths",
     "analyze_source",
+    "analyze_source_report",
     "check_c_abi",
+    "check_concurrency",
     "check_function",
+    "check_native_boundary",
     "ctype_for",
     "describe_ctype",
     "format_human",
     "format_json",
     "iter_python_files",
+    "known_rule_ids",
     "main",
     "parse_c_prototypes",
+    "project_check_ids",
+    "register_project_check",
     "register_rule",
     "report_payload",
     "rule_catalog",
     "rules",
+    "stale_suppressions",
 ]

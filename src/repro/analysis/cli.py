@@ -1,12 +1,17 @@
 """``python -m repro.analysis`` — the repo's static-analysis gate.
 
-Runs the project lint rules over the given paths (default:
-``src/repro``) and, unless ``--no-cabi`` is passed, cross-checks the
-native kernel's C ABI against its ctypes declaration.  Exit status:
+Runs the per-file lint rules *and* the whole-program analyses (project
+model + array-contract dataflow + concurrency safety + stale
+suppressions) over the given paths (default: ``src/repro``) and, unless
+``--no-cabi`` is passed, cross-checks the native kernel's C ABI against
+its ctypes declaration.  Exit status:
 
 - ``0`` — no violations and (when checked) no ABI mismatches;
 - ``1`` — at least one violation or ABI mismatch;
-- ``2`` — usage error (unknown rule id, missing path).
+- ``2`` — usage error (unknown rule id, missing path), or any analyzed
+  file that does not parse (REPRO-SYNTAX) — an unparseable file means
+  the rest of the report is incomplete, which is an infrastructure
+  failure, not a mere finding.
 
 This is the command CI's ``static-analysis`` job runs; it is also the
 local pre-commit check (`python -m repro.analysis`).
@@ -19,12 +24,8 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis.cabi import ABIMismatch, check_c_abi
-from repro.analysis.engine import (
-    Violation,
-    analyze_paths,
-    iter_python_files,
-    rule_catalog,
-)
+from repro.analysis.engine import Violation, rule_catalog
+from repro.analysis.gate import analyze_project_paths
 from repro.analysis.reporters import format_human, format_json
 
 __all__ = ["build_parser", "main"]
@@ -71,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the C-ABI cross-check",
     )
     parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help=(
+            "skip the whole-program analyses (dataflow, concurrency, "
+            "stale suppressions); per-file rules only"
+        ),
+    )
+    parser.add_argument(
         "--cabi-only",
         action="store_true",
         help="run only the C-ABI cross-check (no Python lint)",
@@ -97,13 +106,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     violations: List[Violation] = []
     files_checked = 0
+    syntax_failure = False
     if not options.cabi_only:
         try:
-            files_checked = sum(1 for _ in iter_python_files(options.paths))
-            violations = analyze_paths(
+            report = analyze_project_paths(
                 options.paths,
                 select=_split_ids(options.select),
                 ignore=_split_ids(options.ignore),
+                project=not options.no_project,
             )
         except FileNotFoundError as exc:
             print(f"repro-lint: error: {exc}", file=sys.stderr)
@@ -111,6 +121,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ValueError as exc:
             print(f"repro-lint: error: {exc}", file=sys.stderr)
             return 2
+        violations = report.violations
+        files_checked = report.files_checked
+        syntax_failure = report.has_syntax_errors
 
     mismatches: Optional[List[ABIMismatch]] = None
     if options.cabi_only or not options.no_cabi:
@@ -128,4 +141,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 violations, mismatches, files_checked=files_checked
             )
         )
+    if syntax_failure:
+        return 2
     return 1 if violations or mismatches else 0

@@ -29,7 +29,9 @@ the registry.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -47,6 +49,8 @@ from typing import (
 
 __all__ = [
     "FileContext",
+    "FileReport",
+    "LINT_RULE_ID",
     "Rule",
     "SYNTAX_ERROR_RULE_ID",
     "Violation",
@@ -54,13 +58,21 @@ __all__ = [
     "analyze_file",
     "analyze_paths",
     "analyze_source",
+    "analyze_source_report",
     "iter_python_files",
+    "known_rule_ids",
+    "project_check_ids",
+    "register_project_check",
     "register_rule",
     "rule_catalog",
+    "stale_suppressions",
 ]
 
 #: Pseudo-rule id attached to files that fail to parse at all.
 SYNTAX_ERROR_RULE_ID = "REPRO-SYNTAX"
+
+#: Rule id for suppression comments that no longer suppress anything.
+LINT_RULE_ID = "REPRO-LINT001"
 
 _SUPPRESS_LINE = re.compile(
     r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-\s]+)"
@@ -199,44 +211,120 @@ def all_rules() -> List[Rule]:
     return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
 
 
+#: Metadata for whole-program checks (project model / dataflow / call
+#: graph) that run in :mod:`repro.analysis.gate` rather than through the
+#: per-file visitor dispatch.  Registered here so the rule catalog,
+#: ``--select`` validation and suppression bookkeeping treat them
+#: exactly like per-file rules.
+_PROJECT_CHECKS: Dict[str, Dict[str, str]] = {}
+
+
+def register_project_check(
+    check_id: str, title: str, rationale: str
+) -> None:
+    """Register catalog metadata for a whole-program check id."""
+    if not check_id:
+        raise ValueError("project check has no id")
+    if check_id in _REGISTRY:
+        raise ValueError(f"id {check_id!r} already names a per-file rule")
+    _PROJECT_CHECKS[check_id] = {
+        "id": check_id,
+        "title": title,
+        "rationale": " ".join(rationale.split()),
+    }
+
+
+def project_check_ids() -> Set[str]:
+    """Ids of every registered whole-program check."""
+    return set(_PROJECT_CHECKS)
+
+
+def known_rule_ids() -> Set[str]:
+    """Every id a suppression/selection may legitimately reference."""
+    return set(_REGISTRY) | set(_PROJECT_CHECKS) | {SYNTAX_ERROR_RULE_ID}
+
+
 def rule_catalog() -> List[Dict[str, str]]:
-    """Id/title/rationale of every registered rule (for ``--list-rules``)."""
-    return [
+    """Id/title/rationale of every registered rule and whole-program
+    check (for ``--list-rules`` and the JSON report)."""
+    entries = [
         {
             "id": rule_id,
             "title": _REGISTRY[rule_id].title,
             "rationale": " ".join(_REGISTRY[rule_id].rationale.split()),
         }
-        for rule_id in sorted(_REGISTRY)
+        for rule_id in _REGISTRY
     ]
+    entries.extend(_PROJECT_CHECKS.values())
+    return sorted(entries, key=lambda entry: entry["id"])
 
 
 def _parse_rule_list(raw: str) -> Set[str]:
     return {part.strip() for part in raw.split(",") if part.strip()}
 
 
-def _suppressions(source: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
-    """Extract (file-wide, per-line) suppression sets from the source.
+@dataclass
+class _SuppressionTable:
+    """Parsed ``# repro-lint:`` directives of one file.
 
-    Works on raw lines rather than the token stream so that files with
-    syntax errors can still carry suppressions; the directive pattern is
-    strict enough that accidental matches inside strings are unlikely —
-    and harmless, since suppressions only ever silence findings.
+    ``file_wide`` maps each file-wide-suppressed id to the line its
+    directive appears on (needed to *report* a stale directive);
+    ``per_line`` maps line numbers to the ids suppressed on that line.
     """
-    file_wide: Set[str] = set()
+
+    file_wide: Dict[str, int]
+    per_line: Dict[int, Set[str]]
+
+    @property
+    def file_wide_ids(self) -> Set[str]:
+        return set(self.file_wide)
+
+
+def _directive_lines(source: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, text)`` for every *comment* mentioning repro-lint.
+
+    Uses the token stream so directive syntax quoted inside docstrings
+    and string literals (rule documentation, help text) is not mistaken
+    for a live suppression.  Files the tokenizer cannot handle — the
+    syntax-error case the engine must still report on — fall back to a
+    raw line scan, where a stray in-string match only ever *silences*
+    findings, never invents them.
+    """
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "repro-lint" in line:
+                yield lineno, line
+        return
+    for token in tokens:
+        if token.type == tokenize.COMMENT and "repro-lint" in token.string:
+            yield token.start[0], token.string
+
+
+def _parse_suppressions(source: str) -> _SuppressionTable:
+    """Extract the suppression table from one file's source."""
+    file_wide: Dict[str, int] = {}
     per_line: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        if "repro-lint" not in line:
-            continue
-        file_match = _SUPPRESS_FILE.search(line)
+    for lineno, text in _directive_lines(source):
+        file_match = _SUPPRESS_FILE.search(text)
         if file_match:
-            file_wide |= _parse_rule_list(file_match.group(1))
-        line_match = _SUPPRESS_LINE.search(line)
+            for rule_id in _parse_rule_list(file_match.group(1)):
+                file_wide.setdefault(rule_id, lineno)
+        line_match = _SUPPRESS_LINE.search(text)
         if line_match:
             per_line.setdefault(lineno, set()).update(
                 _parse_rule_list(line_match.group(1))
             )
-    return file_wide, per_line
+    return _SuppressionTable(file_wide=file_wide, per_line=per_line)
+
+
+def _suppressions(source: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """Back-compat view of :func:`_parse_suppressions`."""
+    table = _parse_suppressions(source)
+    return table.file_wide_ids, table.per_line
 
 
 def _suppressed(
@@ -277,22 +365,49 @@ def _ordered_walk(tree: ast.AST) -> Iterator[ast.AST]:
         stack.extend(reversed(list(ast.iter_child_nodes(node))))
 
 
-def analyze_source(
+@dataclass
+class FileReport:
+    """Everything one per-file analysis pass learned about one file.
+
+    ``findings`` are the raw, *pre-suppression* rule hits — the
+    stale-suppression check needs them to decide whether a directive
+    still earns its keep.  ``violations`` are the post-suppression
+    results callers act on.
+    """
+
+    path: str
+    source: str
+    syntax_error: bool
+    findings: List[Violation]
+    violations: List[Violation]
+    suppressions: _SuppressionTable
+
+    def suppressed(self, violation: Violation) -> bool:
+        """Whether this file's directives silence ``violation``."""
+        return _suppressed(
+            violation,
+            self.suppressions.file_wide_ids,
+            self.suppressions.per_line,
+        )
+
+
+def analyze_source_report(
     source: str,
     path: str = "<string>",
     *,
     rules: Optional[Sequence[Rule]] = None,
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
-) -> List[Violation]:
-    """Run the rule engine over one source string.
+) -> FileReport:
+    """Run the per-file rule engine and return the full :class:`FileReport`.
 
-    Returns violations sorted by location.  A file that does not parse
-    yields a single :data:`SYNTAX_ERROR_RULE_ID` violation — a lint run
-    must fail loudly on unparseable library code, not skip it.
+    A file that does not parse yields a single
+    :data:`SYNTAX_ERROR_RULE_ID` finding — a lint run must fail loudly
+    on unparseable library code, not skip it.
     """
     active = _select_rules(all_rules() if rules is None else rules, select, ignore)
-    file_wide, per_line = _suppressions(source)
+    table = _parse_suppressions(source)
+    file_wide, per_line = table.file_wide_ids, table.per_line
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -303,7 +418,17 @@ def analyze_source(
             rule_id=SYNTAX_ERROR_RULE_ID,
             message=f"file does not parse: {exc.msg}",
         )
-        return [] if _suppressed(violation, file_wide, per_line) else [violation]
+        kept = (
+            [] if _suppressed(violation, file_wide, per_line) else [violation]
+        )
+        return FileReport(
+            path=path,
+            source=source,
+            syntax_error=True,
+            findings=[violation],
+            violations=kept,
+            suppressions=table,
+        )
 
     ctx = FileContext(path, source, tree)
     dispatch: Dict[Type[ast.AST], List[Rule]] = {}
@@ -321,7 +446,109 @@ def analyze_source(
         found.extend(rule.finish_file(ctx))
 
     kept = [v for v in found if not _suppressed(v, file_wide, per_line)]
-    return sorted(kept)
+    return FileReport(
+        path=path,
+        source=source,
+        syntax_error=False,
+        findings=sorted(found),
+        violations=sorted(kept),
+        suppressions=table,
+    )
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Run the rule engine over one source string.
+
+    Returns violations sorted by location; see
+    :func:`analyze_source_report` for the pre-suppression view.
+    """
+    return analyze_source_report(
+        source, path, rules=rules, select=select, ignore=ignore
+    ).violations
+
+
+def stale_suppressions(
+    reports: Sequence[FileReport],
+    project_findings: Sequence[Violation] = (),
+    *,
+    active_ids: Optional[Set[str]] = None,
+) -> List[Violation]:
+    """Report ``# repro-lint: disable=`` directives that suppress nothing.
+
+    A per-line directive is *live* when some pre-suppression finding of
+    that rule exists on that line (per-file findings or whole-program
+    ``project_findings``); a file-wide directive is live when such a
+    finding exists anywhere in the file.  Directives naming an id the
+    engine does not know are always stale.  Ids outside ``active_ids``
+    (rules excluded from this run) are skipped — a partial run cannot
+    judge them.  ``all`` is exempt: it is a deliberate sledgehammer.
+
+    The resulting :data:`LINT_RULE_ID` violations are themselves subject
+    to each file's suppression table.
+    """
+    known = known_rule_ids()
+    by_file: Dict[str, List[Violation]] = {}
+    for violation in project_findings:
+        by_file.setdefault(violation.path, []).append(violation)
+
+    stale: List[Violation] = []
+    for report in reports:
+        findings = list(report.findings) + by_file.get(report.path, [])
+        lines_by_rule: Dict[str, Set[int]] = {}
+        for finding in findings:
+            lines_by_rule.setdefault(finding.rule_id, set()).add(finding.line)
+
+        def assessable(rule_id: str) -> bool:
+            if rule_id == "all":
+                return False
+            if rule_id not in known:
+                return True  # unknown ids are always reportable
+            return active_ids is None or rule_id in active_ids
+
+        candidates: List[Tuple[int, str, bool]] = []
+        for lineno, ids in sorted(report.suppressions.per_line.items()):
+            for rule_id in sorted(ids):
+                if not assessable(rule_id):
+                    continue
+                live = lineno in lines_by_rule.get(rule_id, set())
+                if not live:
+                    candidates.append((lineno, rule_id, False))
+        for rule_id, lineno in sorted(report.suppressions.file_wide.items()):
+            if not assessable(rule_id):
+                continue
+            if not lines_by_rule.get(rule_id):
+                candidates.append((lineno, rule_id, True))
+
+        for lineno, rule_id, file_wide in candidates:
+            if rule_id not in known:
+                detail = f"unknown rule id {rule_id!r}"
+            elif file_wide:
+                detail = (
+                    f"disable-file={rule_id} suppresses no finding "
+                    f"anywhere in this file"
+                )
+            else:
+                detail = f"disable={rule_id} suppresses no finding on this line"
+            violation = Violation(
+                path=report.path,
+                line=lineno,
+                col=0,
+                rule_id=LINT_RULE_ID,
+                message=(
+                    f"stale suppression: {detail}; delete the directive "
+                    f"(or fix the id) so justifications cannot rot"
+                ),
+            )
+            if not report.suppressed(violation):
+                stale.append(violation)
+    return sorted(stale)
 
 
 def analyze_file(
@@ -377,3 +604,14 @@ def analyze_paths(
             analyze_file(file_path, rules=rules, select=select, ignore=ignore)
         )
     return sorted(found)
+
+
+register_project_check(
+    LINT_RULE_ID,
+    "stale suppression directive",
+    """A # repro-lint: disable= comment that no longer matches any finding
+    is a rotted justification: the code it excused has moved or been
+    fixed, and the directive now silently masks future violations at
+    that location.  Stale directives (and directives naming unknown rule
+    ids) are reported so every suppression in the tree stays earned.""",
+)

@@ -1,0 +1,148 @@
+"""Gate orchestrator: per-file rules + whole-program checks, one verdict.
+
+The per-file engine (:mod:`repro.analysis.engine`) and the
+whole-program analyses (:mod:`repro.analysis.dataflow`,
+:mod:`repro.analysis.concurrency`) each produce raw findings; this
+module runs them all over one set of paths, applies every file's
+suppression table uniformly to both kinds, runs the stale-suppression
+check (REPRO-LINT001) over the combined pre-suppression findings, and
+returns a single sorted violation list.  ``python -m repro.analysis``
+and the self-lint test both call :func:`analyze_project_paths` so the
+CLI and CI can never disagree about what the gate means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from repro.analysis.concurrency import (
+    GLOBAL_RULE_ID,
+    RNG_RULE_ID,
+    check_concurrency,
+)
+from repro.analysis.dataflow import NATIVE_RULE_ID, check_native_boundary
+from repro.analysis.engine import (
+    LINT_RULE_ID,
+    SYNTAX_ERROR_RULE_ID,
+    FileReport,
+    Violation,
+    all_rules,
+    analyze_source_report,
+    iter_python_files,
+    known_rule_ids,
+    project_check_ids,
+    stale_suppressions,
+)
+from repro.analysis.project import ProjectModel
+
+__all__ = ["GateReport", "analyze_project_paths"]
+
+
+@dataclass
+class GateReport:
+    """Combined result of one full gate run."""
+
+    violations: List[Violation]
+    files_checked: int
+    file_reports: List[FileReport]
+
+    @property
+    def has_syntax_errors(self) -> bool:
+        """Whether any analyzed file failed to parse (CLI exit 2)."""
+        return any(
+            v.rule_id == SYNTAX_ERROR_RULE_ID for v in self.violations
+        )
+
+
+def _active_ids(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> Set[str]:
+    """Validate select/ignore against the combined catalog and return the
+    set of active rule/check ids (ValueError on unknown ``select`` ids,
+    mirroring the per-file engine's behavior)."""
+    known = known_rule_ids()
+    active = set(known)
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(f"unknown rule ids in select: {sorted(unknown)}")
+        active = wanted | {SYNTAX_ERROR_RULE_ID}
+    if ignore is not None:
+        active -= set(ignore)
+    return active
+
+
+def analyze_project_paths(
+    paths: Iterable[Union[str, Path]],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    project: bool = True,
+) -> GateReport:
+    """Run the full static-analysis gate over ``paths``.
+
+    Per-file rules run through the engine as before; with ``project``
+    true (the default) the whole-program checks — REPRO-NATIVE001
+    array-contract dataflow, REPRO-PAR001/002 concurrency safety, and
+    the REPRO-LINT001 stale-suppression audit — run over a
+    :class:`ProjectModel` built from the same paths.  Whole-program
+    findings honor the same ``# repro-lint:`` suppression directives as
+    per-file ones.
+    """
+    path_list = list(paths)
+    active = _active_ids(select, ignore)
+    non_engine_ids = project_check_ids() | {SYNTAX_ERROR_RULE_ID}
+    per_file_select = (
+        None
+        if select is None
+        else [i for i in select if i not in non_engine_ids]
+    )
+
+    reports: List[FileReport] = []
+    for file_path in iter_python_files(path_list):
+        source = Path(file_path).read_text(encoding="utf-8")
+        reports.append(
+            analyze_source_report(
+                source,
+                str(file_path),
+                rules=all_rules(),
+                select=per_file_select,
+                ignore=ignore,
+            )
+        )
+    report_by_path: Dict[str, FileReport] = {r.path: r for r in reports}
+
+    violations: List[Violation] = []
+    for report in reports:
+        violations.extend(report.violations)
+
+    project_findings: List[Violation] = []
+    if project:
+        model = ProjectModel.from_paths(path_list)
+        if NATIVE_RULE_ID in active:
+            project_findings.extend(check_native_boundary(model))
+        if {GLOBAL_RULE_ID, RNG_RULE_ID} & active:
+            found = check_concurrency(model)
+            project_findings.extend(
+                v for v in found if v.rule_id in active
+            )
+        for finding in project_findings:
+            finding_report = report_by_path.get(finding.path)
+            if finding_report is not None and finding_report.suppressed(finding):
+                continue
+            violations.append(finding)
+        if LINT_RULE_ID in active:
+            violations.extend(
+                stale_suppressions(
+                    reports, project_findings, active_ids=active
+                )
+            )
+
+    return GateReport(
+        violations=sorted(violations),
+        files_checked=len(reports),
+        file_reports=reports,
+    )

@@ -462,18 +462,32 @@ class CompiledTimingProgram:
         self._dff_d_load = packed.d_load[dff_gate_ids]
         self._dff_s0 = packed.s0[dff_gate_ids]
         self._dff_s_load = packed.s_load[dff_gate_ids]
-        self._dff_k1 = packed.k1[dff_gate_ids]
-        self._dff_k2 = packed.k2[dff_gate_ids]
-        self._dff_m1 = packed.m1[dff_gate_ids]
-        self._dff_m2 = packed.m2[dff_gate_ids]
+        # The four sensitivity rows and the two nominal rows go straight
+        # to the native kernel as POINTER(c_double) arguments, so their
+        # float64/C-contiguous contract is pinned here at pack time
+        # (REPRO-NATIVE001 proves it through to the ctypes boundary).
+        self._dff_k1 = np.ascontiguousarray(
+            packed.k1[dff_gate_ids], dtype=np.float64
+        )
+        self._dff_k2 = np.ascontiguousarray(
+            packed.k2[dff_gate_ids], dtype=np.float64
+        )
+        self._dff_m1 = np.ascontiguousarray(
+            packed.m1[dff_gate_ids], dtype=np.float64
+        )
+        self._dff_m2 = np.ascontiguousarray(
+            packed.m2[dff_gate_ids], dtype=np.float64
+        )
         self._dff_total_cap = pw.total_cap_ff[dff_out_cols]
         self._dff_pin_cap = pw.pin_cap_ff[dff_out_cols]
         self._dff_wire_cap = pw.wire_cap_ff[dff_out_cols]
         self._dff_dnom = np.ascontiguousarray(
-            self._dff_d0 + self._dff_d_load * self._dff_total_cap
+            self._dff_d0 + self._dff_d_load * self._dff_total_cap,
+            dtype=np.float64,
         )
         self._dff_snom = np.ascontiguousarray(
-            self._dff_s0 + self._dff_s_load * self._dff_total_cap
+            self._dff_s0 + self._dff_s_load * self._dff_total_cap,
+            dtype=np.float64,
         )
         # Unique end nets, first-appearance order (matches the reference
         # result dict, which deduplicates implicitly).

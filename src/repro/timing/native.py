@@ -16,6 +16,14 @@ fails, or ``REPRO_NO_NATIVE=1`` is set, :func:`load_kernel` returns
 within floating-point reassociation error (``rtol=1e-12``) of both the
 numpy path and the reference engine, and are bitwise reproducible across
 chunk/block partitionings.
+
+Setting ``REPRO_SANITIZE=ubsan`` (or ``asan``, comma-separable) switches
+to an instrumented build — ``-O1 -g -fsanitize=... -fno-sanitize-
+recover=all`` — cached under its own key so sanitizer objects never
+shadow the optimized ones.  The cache key also folds in the first line
+of ``cc --version``: with ``-march=native`` a ``.so`` is only valid for
+the toolchain/CPU that produced it, so a shared cache directory must not
+hand it to a different machine.
 """
 
 from __future__ import annotations
@@ -26,10 +34,24 @@ import os
 import subprocess
 import tempfile
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 _SOURCE = Path(__file__).with_name("sta_kernel.c")
 _CFLAGS = ["-O3", "-march=native", "-shared", "-fPIC"]
+
+#: Accepted ``REPRO_SANITIZE`` tokens → ``-fsanitize=`` group names.
+_SANITIZE_FLAG_MAP = {
+    "asan": "address",
+    "address": "address",
+    "ubsan": "undefined",
+    "undefined": "undefined",
+}
+
+#: Base flags for sanitizer builds: light optimization and debug info so
+#: sanitizer reports carry usable line numbers.  Deliberately disjoint
+#: from :data:`_CFLAGS` — the optimized build's flags (and therefore its
+#: bitwise behavior and cache key) never change when sanitizers exist.
+_SANITIZE_BASE_CFLAGS = ["-O1", "-g", "-shared", "-fPIC"]
 
 #: Name of the exported kernel entry point in ``sta_kernel.c``.
 KERNEL_FUNCTION = "sta_eval_gates"
@@ -39,17 +61,110 @@ KERNEL_RESTYPE = None
 
 _cached: Optional[object] = None
 _cached_key: Optional[str] = None
+_compiler_identity_cache: Optional[str] = None
 
 
 def _cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
 
 
-def _build_key(source: bytes) -> str:
+def sanitize_mode() -> Tuple[str, ...]:
+    """The sanitizer groups requested via ``REPRO_SANITIZE``.
+
+    ``REPRO_SANITIZE=asan,ubsan`` (aliases ``address``/``undefined``
+    also accepted, comma-separated, case-insensitive) selects an
+    instrumented kernel build.  Returns the sorted, deduplicated
+    ``-fsanitize=`` group names, ``()`` when unset.  Unknown tokens
+    raise ``ValueError`` — a typo silently falling back to the
+    uninstrumented kernel would defeat the whole point of the mode.
+
+    Note on ``asan``: loading an ASan-instrumented ``.so`` into an
+    uninstrumented Python requires ``LD_PRELOAD``-ing the ASan runtime;
+    CI therefore exercises ``ubsan``, which gcc links self-contained
+    into shared objects.
+    """
+    raw = os.environ.get("REPRO_SANITIZE", "")
+    groups: List[str] = []
+    for token in raw.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        group = _SANITIZE_FLAG_MAP.get(token)
+        if group is None:
+            raise ValueError(
+                f"unknown REPRO_SANITIZE token {token!r}; expected a "
+                f"comma-separated subset of "
+                f"{sorted(set(_SANITIZE_FLAG_MAP))}"
+            )
+        if group not in groups:
+            groups.append(group)
+    return tuple(sorted(groups))
+
+
+def _effective_cflags() -> List[str]:
+    """Compiler flags for the current build mode (optimized or sanitize)."""
+    groups = sanitize_mode()
+    if not groups:
+        return list(_CFLAGS)
+    return _SANITIZE_BASE_CFLAGS + [
+        f"-fsanitize={','.join(groups)}",
+        "-fno-sanitize-recover=all",
+    ]
+
+
+def _compiler_identity() -> str:
+    """First line of ``cc --version`` (memoized), or a fallback marker.
+
+    Folded into the build key so a shared ``REPRO_CACHE_DIR`` never
+    reuses a ``.so`` across toolchains — ``-march=native`` output from
+    one machine is not portable to another CPU/compiler.
+    """
+    global _compiler_identity_cache
+    if _compiler_identity_cache is None:
+        try:
+            proc = subprocess.run(
+                ["cc", "--version"],
+                capture_output=True,
+                timeout=10,
+                check=False,
+            )
+            first_line = proc.stdout.decode("utf-8", "replace").splitlines()
+            identity = first_line[0].strip() if first_line else "unknown-cc"
+        except (OSError, subprocess.SubprocessError, ValueError):
+            identity = "no-cc"
+        # Per-process memo: the toolchain cannot change mid-process, and
+        # each pool worker probing cc once is the intended behavior.
+        _compiler_identity_cache = identity  # repro-lint: disable=REPRO-PAR001
+    return _compiler_identity_cache
+
+
+def _build_key(source: bytes, cflags: Sequence[str]) -> str:
     digest = hashlib.sha256()
     digest.update(source)
-    digest.update(" ".join(_CFLAGS).encode())
+    digest.update(" ".join(cflags).encode())
+    digest.update(b"\0")
+    digest.update(_compiler_identity().encode("utf-8", "replace"))
     return digest.hexdigest()[:16]
+
+
+def kernel_build_info() -> Dict[str, Union[str, Tuple[str, ...], List[str]]]:
+    """Describe the build the current environment would produce.
+
+    Purely informational (used by tests and bench reports): the cache
+    key, effective flags, sanitizer groups and compiler identity —
+    without triggering a compile.
+    """
+    try:
+        source = _SOURCE.read_bytes()
+    except OSError:
+        source = b""
+    cflags = _effective_cflags()
+    return {
+        "key": _build_key(source, cflags),
+        "cflags": cflags,
+        "sanitize": sanitize_mode(),
+        "compiler": _compiler_identity(),
+    }
 
 
 def kernel_source_path() -> Path:
@@ -93,11 +208,15 @@ def load_kernel() -> Optional[object]:
     global _cached, _cached_key
     if os.environ.get("REPRO_NO_NATIVE"):
         return None
+    # A malformed REPRO_SANITIZE raises here, before any fallback logic:
+    # silently running the uninstrumented kernel because of a typo would
+    # invalidate what the sanitizer run claims to prove.
+    cflags = _effective_cflags()
     try:
         source = _SOURCE.read_bytes()
     except OSError:
         return None
-    key = _build_key(source)
+    key = _build_key(source, cflags)
     if _cached is not None and _cached_key == key:
         return _cached
 
@@ -111,7 +230,7 @@ def load_kernel() -> Optional[object]:
             )
             os.close(fd)
             subprocess.run(
-                ["cc", *_CFLAGS, str(_SOURCE), "-o", tmp, "-lm"],
+                ["cc", *cflags, str(_SOURCE), "-o", tmp, "-lm"],
                 check=True,
                 capture_output=True,
                 timeout=120,
@@ -133,5 +252,7 @@ def load_kernel() -> Optional[object]:
         return None
     fn.argtypes = kernel_argtypes()
     fn.restype = KERNEL_RESTYPE
-    _cached, _cached_key = fn, key
+    # Per-process memo of the loaded ctypes function: workers each dlopen
+    # the (disk-shared) .so once; nothing reads this across processes.
+    _cached, _cached_key = fn, key  # repro-lint: disable=REPRO-PAR001
     return fn

@@ -1,0 +1,21 @@
+"""Seeded REPRO-NATIVE001 violation: dtype drift through a helper.
+
+``send`` itself is contract-clean — its parameter requirement
+(float64, C-contiguous) is recorded and enforced at call sites.  The
+violation must therefore be reported at the ``send(indices)`` call in
+``ship_indices``, where an int64 array drifts into the float64 slot,
+not inside ``send``.
+"""
+
+import ctypes
+
+import numpy as np
+
+
+def send(buffer: np.ndarray) -> object:
+    return buffer.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+
+
+def ship_indices() -> object:
+    indices = np.arange(16)
+    return send(indices)

@@ -1,0 +1,19 @@
+"""Seeded REPRO-NATIVE001 violation: a column view reaches the boundary.
+
+``matrix[:, 0]`` is a strided view — element *i* lives ``4 * 8`` bytes
+after element ``i - 1`` — so handing its base pointer to a kernel that
+indexes densely reads the whole matrix row-major.  The analysis must
+flag the ``data_as`` call because contiguity is not provable.
+"""
+
+import ctypes
+
+import numpy as np
+
+P_F64 = ctypes.POINTER(ctypes.c_double)
+
+
+def column_pointer(rows: int) -> object:
+    matrix = np.zeros((rows, 4), dtype=np.float64)
+    column = matrix[:, 0]
+    return column.ctypes.data_as(P_F64)

@@ -1,0 +1,32 @@
+"""Contract-clean counterpart to the bad native-boundary fixtures.
+
+Every value reaching ``data_as`` is provably float64 and C-contiguous
+— directly, through an explicit ``np.ascontiguousarray`` proof, and
+through the same ``send`` helper shape that the bad fixture abuses.
+The analysis must produce zero findings here.
+"""
+
+import ctypes
+
+import numpy as np
+
+P_F64 = ctypes.POINTER(ctypes.c_double)
+
+
+def send(buffer: np.ndarray) -> object:
+    return buffer.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+
+
+def ship_direct(count: int) -> object:
+    values = np.zeros(count, dtype=np.float64)
+    return values.ctypes.data_as(P_F64)
+
+
+def ship_proven(values: np.ndarray) -> object:
+    prepared = np.ascontiguousarray(values, dtype=np.float64)
+    return prepared.ctypes.data_as(P_F64)
+
+
+def ship_helper() -> object:
+    data = np.ones(8, dtype=np.float64)
+    return send(data)

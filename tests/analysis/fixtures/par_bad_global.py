@@ -1,0 +1,27 @@
+"""Seeded REPRO-PAR001 violation: worker accumulates into a global.
+
+``worker`` runs in a pool process; ``record`` appends into the parent
+module's ``RESULTS`` list — but only in the *worker's* copy of the
+module, so the parent's list stays empty.  The write sits one call
+below the submitted function, so flagging it requires the call graph.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable
+
+RESULTS: list = []
+
+
+def record(value: float) -> None:
+    RESULTS.append(value)
+
+
+def worker(value: float) -> float:
+    record(value)
+    return value
+
+
+def run_all(values: Iterable[float]) -> None:
+    with ProcessPoolExecutor() as pool:
+        for value in values:
+            pool.submit(worker, value)

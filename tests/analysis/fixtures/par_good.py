@@ -1,0 +1,23 @@
+"""Concurrency-clean counterpart to the bad pool fixtures.
+
+Workers receive their seed explicitly and return results instead of
+writing shared state; the whole-program rules must stay silent.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List
+
+import numpy as np
+
+
+def seeded_worker(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(4)
+
+
+def run_all(seeds: Iterable[int]) -> List[np.ndarray]:
+    results = []
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(seeded_worker, seed) for seed in seeds]
+        results = [f.result() for f in futures]
+    return results

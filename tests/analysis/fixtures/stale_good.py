@@ -1,0 +1,12 @@
+"""A live suppression: the directive matches a real finding.
+
+``np.random.randn`` triggers REPRO-RNG001 on exactly the suppressed
+line, so the directive is doing real work and must not be reported as
+stale — and the RNG001 finding itself must stay suppressed.
+"""
+
+import numpy as np
+
+
+def legacy_draw(count: int) -> np.ndarray:
+    return np.random.randn(count)  # repro-lint: disable=REPRO-RNG001

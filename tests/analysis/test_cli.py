@@ -110,6 +110,55 @@ def test_list_rules_prints_catalog(capsys):
         assert rule_id in out
 
 
+@pytest.fixture()
+def mixed_tree(tmp_path):
+    """One unparseable file next to one with ordinary violations."""
+    (tmp_path / "mod.py").write_text(BROKEN_SOURCE)
+    (tmp_path / "broken.py").write_text('"""Doc."""\n\ndef oops(:\n')
+    return tmp_path
+
+
+def test_mixed_tree_exits_two(mixed_tree, capsys):
+    # An unparseable file means the report is incomplete — that is an
+    # infrastructure failure (exit 2), not a mere finding (exit 1).
+    assert main([str(mixed_tree), "--no-cabi"]) == 2
+    out = capsys.readouterr().out
+    assert "REPRO-SYNTAX" in out
+    assert "REPRO-RNG001" in out
+
+
+def test_mixed_tree_json_is_valid_and_complete(mixed_tree, capsys):
+    assert main([str(mixed_tree), "--no-cabi", "--json"]) == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 2
+    rules_hit = {v["rule"] for v in payload["violations"]}
+    assert "REPRO-SYNTAX" in rules_hit
+    assert "REPRO-RNG001" in rules_hit
+
+
+def test_no_project_skips_whole_program_checks(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text(
+        '"""Doc."""\n\n'
+        "VALUE = 1  # repro-lint: disable=REPRO-RNG001\n"
+    )
+    assert main([str(tmp_path), "--no-cabi"]) == 1
+    assert "REPRO-LINT001" in capsys.readouterr().out
+    assert main([str(tmp_path), "--no-cabi", "--no-project"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_list_rules_includes_project_checks(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "REPRO-NATIVE001",
+        "REPRO-PAR001",
+        "REPRO-PAR002",
+        "REPRO-LINT001",
+    ):
+        assert rule_id in out
+
+
 def test_cabi_only_skips_lint(broken_tree, capsys):
     # Lint violations in the tree are ignored; only the (passing) live
     # ABI check decides the exit code.

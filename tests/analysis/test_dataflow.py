@@ -1,0 +1,84 @@
+"""Tests for the REPRO-NATIVE001 array-contract dataflow analysis."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import analyze_project_paths
+from repro.analysis.dataflow import (
+    ArrayFact,
+    NATIVE_RULE_ID,
+    check_native_boundary,
+    join,
+)
+from repro.analysis.project import ProjectModel
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_REPRO = Path(repro.__file__).resolve().parent
+
+
+def _native_violations(*files):
+    report = analyze_project_paths(
+        [FIXTURES / name for name in files], select={NATIVE_RULE_ID}
+    )
+    return [v for v in report.violations if v.rule_id == NATIVE_RULE_ID]
+
+
+def test_fact_join_degrades_to_unknown_components():
+    a = ArrayFact(dtype="float64", contiguous=True)
+    b = ArrayFact(dtype="int64", contiguous=True)
+    merged = join(a, b)
+    assert merged == ArrayFact(dtype=None, contiguous=True)
+    assert join(a, a) == a
+
+
+def test_noncontiguous_column_view_is_flagged():
+    found = _native_violations("native_bad_slice.py")
+    assert len(found) == 1
+    violation = found[0]
+    assert violation.line == 19
+    assert "unknown layout" in violation.message
+    assert "ascontiguousarray" in violation.message
+
+
+def test_dtype_drift_is_reported_at_the_call_site():
+    found = _native_violations("native_bad_dtype_helper.py")
+    assert len(found) == 1
+    violation = found[0]
+    # Reported where the int64 array enters send(), not inside send().
+    assert violation.line == 21
+    assert "inside send()" in violation.message
+    assert "int64" in violation.message
+
+
+def test_proven_contracts_produce_no_findings():
+    assert _native_violations("native_good.py") == []
+
+
+def test_all_three_fixtures_together():
+    found = _native_violations(
+        "native_bad_slice.py", "native_bad_dtype_helper.py", "native_good.py"
+    )
+    assert {Path(v.path).name for v in found} == {
+        "native_bad_slice.py",
+        "native_bad_dtype_helper.py",
+    }
+
+
+def test_suppression_silences_the_boundary(tmp_path):
+    source = (FIXTURES / "native_bad_slice.py").read_text()
+    source = source.replace(
+        "return column.ctypes.data_as(P_F64)",
+        "return column.ctypes.data_as(P_F64)  "
+        "# repro-lint: disable=REPRO-NATIVE001",
+    )
+    target = tmp_path / "suppressed.py"
+    target.write_text(source)
+    report = analyze_project_paths([target], select={NATIVE_RULE_ID})
+    assert report.violations == []
+
+
+def test_src_repro_boundary_is_contract_clean():
+    model = ProjectModel.from_paths([SRC_REPRO])
+    found = check_native_boundary(model)
+    rendered = "\n".join(v.format() for v in found)
+    assert not found, f"unproven native contracts:\n{rendered}"

@@ -9,7 +9,13 @@ test with the exact ``path:line:col`` the CLI would print.
 from pathlib import Path
 
 import repro
-from repro.analysis import all_rules, analyze_paths, check_c_abi
+from repro.analysis import (
+    all_rules,
+    analyze_paths,
+    analyze_project_paths,
+    check_c_abi,
+    rule_catalog,
+)
 
 SRC_REPRO = Path(repro.__file__).resolve().parent
 
@@ -18,10 +24,28 @@ def test_rule_floor():
     assert len(all_rules()) >= 6
 
 
+def test_catalog_floor_including_project_checks():
+    ids = {entry["id"] for entry in rule_catalog()}
+    assert len(ids) >= 12
+    assert {
+        "REPRO-NATIVE001",
+        "REPRO-PAR001",
+        "REPRO-PAR002",
+        "REPRO-LINT001",
+    } <= ids
+
+
 def test_src_repro_is_violation_free():
     found = analyze_paths([SRC_REPRO])
     rendered = "\n".join(v.format() for v in found)
     assert not found, f"repro-lint violations in src/repro:\n{rendered}"
+
+
+def test_src_repro_passes_the_full_project_gate():
+    report = analyze_project_paths([SRC_REPRO])
+    rendered = "\n".join(v.format() for v in report.violations)
+    assert not report.violations, f"gate violations in src/repro:\n{rendered}"
+    assert not report.has_syntax_errors
 
 
 def test_live_c_abi_contract_holds():
