@@ -1,0 +1,74 @@
+"""SSTA-service load bench: warm residency vs the process-per-request cold path.
+
+The service tentpole's acceptance bar (PR 6): a warmed daemon must serve
+requests at least 5× faster than the cold baseline, where "cold" is an
+honest process-per-request deployment — a fresh interpreter paying
+imports, placement, the KLE eigensolve and engine compilation via
+``python -m repro.service once`` subprocesses.  The bench also proves
+the determinism contract under load (batched concurrent requests bitwise
+equal to serial runs) and writes the whole payload to ``BENCH_pr6.json``
+(override with ``REPRO_SERVICE_BENCH_JSON``).
+"""
+
+import os
+
+import pytest
+
+from repro.service.bench import run_service_bench, write_bench_json
+
+_CIRCUIT = "c880"
+_NUM_SAMPLES = 512
+
+
+@pytest.fixture(scope="module")
+def service_bench_payload():
+    payload = run_service_bench(
+        circuit=_CIRCUIT,
+        num_samples=_NUM_SAMPLES,
+        warm_requests=12,
+        cold_requests=2,
+    )
+    write_bench_json(
+        payload,
+        os.environ.get("REPRO_SERVICE_BENCH_JSON", "BENCH_pr6.json"),
+    )
+    return payload
+
+
+def test_warm_service_beats_cold_process_per_request_5x(
+    service_bench_payload, bench_record
+):
+    payload = service_bench_payload
+    speedup = float(payload["warm_speedup"])
+    bench_record(
+        circuit=_CIRCUIT,
+        num_samples=_NUM_SAMPLES,
+        warm_p50_ms=round(payload["warm"]["p50_ms"], 2),
+        warm_p99_ms=round(payload["warm"]["p99_ms"], 2),
+        cold_mean_ms=round(payload["cold"]["mean_ms"], 1),
+        warm_speedup=round(speedup, 1),
+    )
+    assert speedup >= 5.0, (
+        f"warm service only {speedup:.2f}x faster than the "
+        f"process-per-request cold path "
+        f"(warm mean {payload['warm']['mean_ms']:.1f}ms, "
+        f"cold mean {payload['cold']['mean_ms']:.1f}ms)"
+    )
+
+
+def test_batched_load_stays_bitwise_deterministic(service_bench_payload):
+    determinism = service_bench_payload["determinism"]
+    assert determinism["batched_equals_serial"], (
+        "batched concurrent requests diverged from serial runs "
+        f"(max |diff| = {determinism['max_abs_diff_ps']} ps)"
+    )
+    assert determinism["max_abs_diff_ps"] == 0.0
+
+
+def test_residency_counters_show_warm_serving(service_bench_payload):
+    stats = service_bench_payload["service_stats"]
+    assert stats["resident_bytes"] > 0
+    assert stats["hits"] > stats["misses"], (
+        "a warmed daemon should overwhelmingly hit resident artifacts, "
+        f"got hits={stats['hits']} misses={stats['misses']}"
+    )

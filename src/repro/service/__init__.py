@@ -1,0 +1,63 @@
+"""SSTA-as-a-service: a persistent batching daemon over resident artifacts.
+
+Every standalone analysis pays placement, KLE eigensolve and engine
+compilation per invocation; this package keeps those artifacts resident
+behind a long-running daemon so the paper's reuse of precomputed kernel
+structure holds at *request* granularity:
+
+- :class:`SSTAService` — the daemon: admission queue, worker pool,
+  warm artifact registry, per-request result streams;
+- :class:`AnalysisRequest` / :class:`ServiceResult` /
+  :class:`ChunkResult` — the request/response schema
+  (``circuit × kernel × rank × N × seed``);
+- :class:`ResultStream` — incremental consumption with bounded
+  buffering, cancellation (client disconnect) and a guaranteed terminal
+  result;
+- :class:`ArtifactRegistry` — warm residency with
+  quarantine-then-cold-fallback failure containment;
+- :class:`FaultInjector` — deterministic failure injection for the
+  fault test layer;
+- :func:`run_cold_request` — the process-per-request cold baseline.
+
+Determinism guarantee: a request's result is bitwise identical to a
+serial :class:`~repro.timing.ssta.MonteCarloSSTA` run with the same
+parameters, independent of batching, queue order, or worker count (see
+:mod:`repro.service.batcher`).
+"""
+
+from repro.service.artifacts import ArtifactBuildError, ArtifactRegistry
+from repro.service.client import ServiceClient, run_cold_request
+from repro.service.faults import FAULT_STAGES, FaultInjector, InjectedFault
+from repro.service.request import (
+    FLOW_MODES,
+    AnalysisRequest,
+    ChunkResult,
+    RequestStatus,
+    ServiceConfig,
+    ServiceResult,
+    default_kernels,
+)
+from repro.service.scheduler import QueueFullError, Scheduler
+from repro.service.server import SSTAService
+from repro.service.stream import ResultStream
+
+__all__ = [
+    "AnalysisRequest",
+    "ArtifactBuildError",
+    "ArtifactRegistry",
+    "ChunkResult",
+    "FAULT_STAGES",
+    "FLOW_MODES",
+    "FaultInjector",
+    "InjectedFault",
+    "QueueFullError",
+    "RequestStatus",
+    "ResultStream",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceResult",
+    "SSTAService",
+    "default_kernels",
+    "run_cold_request",
+]

@@ -1,0 +1,252 @@
+"""Load-test bench for the SSTA daemon: warm vs cold, p50/p99, determinism.
+
+Measures three things and writes them as one JSON document
+(``BENCH_pr6.json`` by convention):
+
+- **warm path**: per-request latency through a started, warmed daemon
+  (sequential submit→terminal round trips, reported as p50/p99/mean)
+  plus throughput from a concurrent burst, where shared-sweep batching
+  fuses compatible requests;
+- **cold path**: the process-per-request baseline — each request pays a
+  fresh interpreter, imports, placement, KLE eigensolve and engine
+  compile in a subprocess (``python -m repro.service once``);
+- **determinism**: a batched concurrent run through the daemon compared
+  bitwise against serial :class:`~repro.timing.ssta.MonteCarloSSTA`
+  runs with the same seeds (max |Δ| must be exactly 0).
+
+The acceptance bar (PR 6) is warm latency ≥ 5× better than cold; the
+CI smoke job additionally asserts a generous absolute p99 bound.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.service.client import ServiceClient
+from repro.service.request import AnalysisRequest, ServiceConfig
+from repro.service.server import SSTAService
+from repro.utils.streaming import RunningMoments
+
+
+def _percentiles_ms(latencies_s: List[float]) -> Dict[str, float]:
+    """p50/p99/mean/min/max of a latency sample, in milliseconds."""
+    values = np.asarray(latencies_s, dtype=float) * 1e3
+    return {
+        "p50_ms": float(np.percentile(values, 50)),
+        "p99_ms": float(np.percentile(values, 99)),
+        "mean_ms": float(np.mean(values)),
+        "min_ms": float(np.min(values)),
+        "max_ms": float(np.max(values)),
+        "n": int(values.size),
+    }
+
+
+def _warm_burst(
+    service: SSTAService,
+    circuit: str,
+    num_samples: int,
+    num_requests: int,
+    *,
+    base_seed: int,
+) -> Dict[str, float]:
+    """Measure warm serving: sequential latency, then burst throughput.
+
+    Per-request latency is measured one request at a time (each number
+    is a full submit→terminal round trip with nothing else queued — the
+    apples-to-apples counterpart of one cold process).  Throughput comes
+    from a separate concurrent burst, where batching fuses compatible
+    requests into shared sweeps.
+    """
+    latencies: List[float] = []
+    for i in range(num_requests):
+        started = time.perf_counter()
+        result = service.submit(
+            AnalysisRequest(
+                circuit=circuit, num_samples=num_samples, seed=base_seed + i
+            )
+        ).result(timeout_s=600.0)
+        if not result.ok:
+            raise RuntimeError(f"warm request failed: {result.error}")
+        latencies.append(time.perf_counter() - started)
+    t0 = time.perf_counter()
+    streams = [
+        service.submit(
+            AnalysisRequest(
+                circuit=circuit,
+                num_samples=num_samples,
+                seed=base_seed + 1000 + i,
+            )
+        )
+        for i in range(num_requests)
+    ]
+    max_batch = 0
+    for stream in streams:
+        result = stream.result(timeout_s=600.0)
+        if not result.ok:
+            raise RuntimeError(
+                f"warm request {stream.request_id} failed: {result.error}"
+            )
+        max_batch = max(max_batch, result.batch_size)
+    elapsed = time.perf_counter() - t0
+    stats = _percentiles_ms(latencies)
+    stats["requests_per_second"] = float(num_requests / elapsed)
+    stats["burst_max_batch_size"] = max_batch
+    moments = RunningMoments()
+    moments.push(np.asarray(latencies) * 1e3)
+    stats["sem_ms"] = moments.sem
+    return stats
+
+
+def _cold_runs(
+    circuit: str,
+    num_samples: int,
+    num_requests: int,
+    *,
+    base_seed: int,
+) -> Dict[str, float]:
+    """Run the process-per-request baseline via subprocesses."""
+    env = dict(os.environ)
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    latencies: List[float] = []
+    for i in range(num_requests):
+        command = [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "once",
+            "--circuit",
+            circuit,
+            "--num-samples",
+            str(num_samples),
+            "--seed",
+            str(base_seed + i),
+        ]
+        started = time.perf_counter()
+        completed = subprocess.run(
+            command, env=env, capture_output=True, text=True
+        )
+        latencies.append(time.perf_counter() - started)
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"cold run failed (rc={completed.returncode}): "
+                f"{completed.stderr[-2000:]}"
+            )
+    return _percentiles_ms(latencies)
+
+
+def _determinism_check(
+    service: SSTAService,
+    circuit: str,
+    num_samples: int,
+    *,
+    base_seed: int,
+    num_requests: int = 4,
+) -> Dict[str, object]:
+    """Batched concurrent requests vs serial harness runs, bitwise."""
+    harness = service.warm_up(circuit)
+    streams = [
+        service.submit(
+            AnalysisRequest(
+                circuit=circuit,
+                num_samples=num_samples,
+                seed=base_seed + i,
+            )
+        )
+        for i in range(num_requests)
+    ]
+    results = [s.result(timeout_s=600.0) for s in streams]
+    max_diff = 0.0
+    identical = True
+    for i, result in enumerate(results):
+        if not result.ok or result.sta is None:
+            identical = False
+            continue
+        serial = harness.run_kle(num_samples, seed=base_seed + i)
+        diff = float(
+            np.max(
+                np.abs(
+                    np.asarray(result.sta.worst_delay)
+                    - np.asarray(serial.sta.worst_delay)
+                )
+            )
+        )
+        max_diff = max(max_diff, diff)
+        identical = identical and diff == 0.0  # repro-lint: disable=REPRO-FLOAT001
+    return {
+        "batched_equals_serial": identical,
+        "max_abs_diff_ps": max_diff,
+        "requests": num_requests,
+    }
+
+
+def run_service_bench(
+    *,
+    circuit: str = "c880",
+    num_samples: int = 512,
+    warm_requests: int = 16,
+    cold_requests: int = 3,
+    base_seed: int = 20080310,
+    config: Optional[ServiceConfig] = None,
+) -> Dict[str, object]:
+    """Run the full warm/cold/determinism bench; returns the JSON payload."""
+    effective = config if config is not None else ServiceConfig()
+    with SSTAService(effective) as service:
+        warm_setup_start = time.perf_counter()
+        service.warm_up(circuit)
+        warm_setup_s = time.perf_counter() - warm_setup_start
+        client = ServiceClient(service)
+        # One throwaway request flushes any residual lazy setup.
+        client.analyze(
+            AnalysisRequest(
+                circuit=circuit, num_samples=32, seed=base_seed - 1
+            )
+        )
+        warm = _warm_burst(
+            service,
+            circuit,
+            num_samples,
+            warm_requests,
+            base_seed=base_seed,
+        )
+        determinism = _determinism_check(
+            service, circuit, num_samples, base_seed=base_seed + 1000
+        )
+        stats = service.stats()
+    cold = _cold_runs(
+        circuit, num_samples, cold_requests, base_seed=base_seed
+    )
+    speedup = float(cold["mean_ms"]) / max(float(warm["mean_ms"]), 1e-9)
+    return {
+        "bench": "service",
+        "circuit": circuit,
+        "num_samples": num_samples,
+        "engine": effective.engine,
+        "warm": warm,
+        "cold": cold,
+        "warm_setup_seconds": warm_setup_s,
+        "warm_speedup": speedup,
+        "determinism": determinism,
+        "service_stats": {
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "resident_bytes": stats["resident_bytes"],
+        },
+        "python": sys.version.split()[0],
+    }
+
+
+def write_bench_json(payload: Dict[str, object], path: str) -> None:
+    """Write the bench payload as stable, sorted-key JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

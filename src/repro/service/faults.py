@@ -1,0 +1,78 @@
+"""Deterministic fault injection for the service's failure-path tests.
+
+The daemon's graceful-degradation guarantees (artifact build failure
+falls back to the cold path, a failed request never wedges the queue)
+are only testable if failures can be provoked on demand.  A
+:class:`FaultInjector` is threaded through the registry and batcher;
+each build/sweep stage calls :meth:`FaultInjector.fire` at its entry,
+which raises :class:`InjectedFault` while that stage is armed and is a
+no-op otherwise.  Counters are exact and thread-safe, so a test can arm
+"fail the next 2 KLE builds" and know precisely which attempts die.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+#: Stages the registry/batcher expose as injection points.
+FAULT_STAGES: Tuple[str, ...] = (
+    "netlist",
+    "placement",
+    "kle",
+    "engine",
+    "sweep",
+)
+
+
+class InjectedFault(RuntimeError):
+    """Raised by an armed :class:`FaultInjector` stage (tests only)."""
+
+
+class FaultInjector:
+    """Thread-safe, countdown-armed fault injection points.
+
+    Production configurations simply never arm anything, making every
+    :meth:`fire` a cheap no-op.  Tests arm a stage with a finite count;
+    each matching :meth:`fire` consumes one unit and raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._remaining: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+
+    def arm(self, stage: str, times: int = 1) -> None:
+        """Arm ``stage`` to fail its next ``times`` invocations."""
+        if stage not in FAULT_STAGES:
+            raise ValueError(
+                f"unknown fault stage {stage!r}; known: {FAULT_STAGES}"
+            )
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        with self._lock:
+            self._remaining[stage] = self._remaining.get(stage, 0) + int(times)
+
+    def clear(self) -> None:
+        """Disarm every stage (fired counters are kept)."""
+        with self._lock:
+            self._remaining.clear()
+
+    def fire(self, stage: str) -> None:
+        """Raise :class:`InjectedFault` iff ``stage`` is armed.
+
+        Consumes one armed unit per raise; unarmed stages return
+        immediately (the production fast path).
+        """
+        with self._lock:
+            left = self._remaining.get(stage, 0)
+            if left <= 0:
+                return
+            self._remaining[stage] = left - 1
+            self._fired[stage] = self._fired.get(stage, 0) + 1
+        raise InjectedFault(f"injected fault at stage {stage!r}")
+
+    def fired(self, stage: str) -> int:
+        """How many times ``stage`` has actually raised so far."""
+        with self._lock:
+            return self._fired.get(stage, 0)

@@ -1,0 +1,149 @@
+"""The SSTA daemon front end: submit analyses against resident artifacts.
+
+:class:`SSTAService` wires the pieces together — artifact registry
+(warm residency), scheduler (admission + worker fan-out), batcher
+(shared sweeps), streams (incremental results) — behind a small
+surface: ``start()``, ``submit() -> ResultStream``, ``warm_up()``,
+``stats()``, ``close()``.
+
+Seed policy: an explicit request seed is used verbatim (bitwise
+reproducible across service restarts and identical to a serial
+:class:`~repro.timing.ssta.MonteCarloSSTA` run).  ``seed=None`` requests
+each receive an independent child of the service's root
+:class:`numpy.random.SeedSequence` (built via
+:func:`repro.utils.rng.spawn_seed_sequences`, the library's one
+sanctioned unseeded-but-coupled stream construction), so even anonymous
+requests are mutually independent and batch-composition-invariant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from types import TracebackType
+from typing import Dict, Optional, Tuple, Type
+
+from repro.service.artifacts import ArtifactRegistry
+from repro.service.batcher import ActiveRequest
+from repro.service.faults import FaultInjector
+from repro.service.request import AnalysisRequest, ServiceConfig
+from repro.service.scheduler import Scheduler
+from repro.service.stream import ResultStream
+from repro.timing.ssta import MonteCarloSSTA
+from repro.utils.rng import SeedLike, spawn_seed_sequences
+
+
+class SSTAService:
+    """A persistent, batching SSTA daemon with warm artifact residency.
+
+    Usable as a context manager; ``start()`` is required before
+    ``submit()``.  All submission-side state (request ids, the seed
+    root) is lock-guarded, so any thread may submit.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.config.validate()
+        self.faults = faults if faults is not None else FaultInjector()
+        self.registry = ArtifactRegistry(self.config, self.faults)
+        self.scheduler = Scheduler(self.config, self.registry, self.faults)
+        self._submit_lock = threading.Lock()
+        self._next_id = 0
+        self._seed_root = spawn_seed_sequences(self.config.root_seed, 1)[0]
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> "SSTAService":
+        """Launch the worker pool; returns ``self`` for chaining."""
+        self.scheduler.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving: queued requests fail, workers join."""
+        self.scheduler.stop()
+
+    def __enter__(self) -> "SSTAService":
+        """Context-manager entry: start the daemon."""
+        return self.start()
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        """Context-manager exit: shut the daemon down."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Requests.
+    # ------------------------------------------------------------------
+    def _assign(
+        self, request: AnalysisRequest
+    ) -> Tuple[str, SeedLike]:
+        """Allocate a request id and resolve the effective seed."""
+        with self._submit_lock:
+            request_id = f"req-{self._next_id:06d}"
+            self._next_id += 1
+            seed: SeedLike = request.seed
+            if seed is None:
+                seed = self._seed_root.spawn(1)[0]
+        return request_id, seed
+
+    def submit(self, request: AnalysisRequest) -> ResultStream:
+        """Validate and admit one request; returns its result stream.
+
+        Raises ``ValueError`` on a malformed request and
+        :class:`~repro.service.scheduler.QueueFullError` when admission
+        is over capacity (backpressure — retry later).
+        """
+        if not self.scheduler.running:
+            raise RuntimeError("service is not started")
+        request.validate(self.config)
+        request_id, seed = self._assign(request)
+        stream = ResultStream(
+            request,
+            request_id,
+            buffer_chunks=self.config.stream_buffer_chunks,
+            put_timeout_s=self.config.stream_put_timeout_s,
+        )
+        now = time.monotonic()
+        timeout = request.timeout_s
+        active = ActiveRequest(
+            request=request,
+            stream=stream,
+            seed=seed,
+            submitted_at=now,
+            deadline=(now + timeout) if timeout is not None else None,
+        )
+        self.scheduler.submit(active)
+        return stream
+
+    def warm_up(
+        self,
+        circuit: str,
+        kernel: str = "gaussian",
+        r: Optional[int] = None,
+    ) -> MonteCarloSSTA:
+        """Pre-build every artifact a (circuit, kernel, r) request needs.
+
+        Returns the resident harness, mainly so tests and benches can
+        run serial comparison flows against the very same objects.
+        """
+        return self.registry.warm_up(circuit, kernel, r)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Registry and queue counters for monitoring and bench output."""
+        stats = self.registry.stats()
+        stats["queue_depth"] = self.scheduler.queue_depth()
+        stats["running"] = self.scheduler.running
+        return stats

@@ -1,0 +1,188 @@
+"""Per-request result streams with bounded buffering and cancellation.
+
+A :class:`ResultStream` is the consumer's handle on one submitted
+request: chunks arrive incrementally (bounded buffer — backpressure), the
+terminal :class:`~repro.service.request.ServiceResult` always arrives
+even if the consumer never drains a single chunk, and ``cancel()`` models
+a client disconnect: the producer notices at its next chunk boundary and
+stops doing work for this request without disturbing its batch peers.
+
+A consumer that stops draining without cancelling is handled the same
+way: when the producer's buffered ``put`` times out, the stream is
+auto-cancelled (reason recorded) so a dead client can never wedge a
+worker.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator, Optional
+
+from repro.service.request import (
+    AnalysisRequest,
+    ChunkResult,
+    RequestStatus,
+    ServiceResult,
+)
+
+#: Sentinel pushed after the terminal result so chunk iterators wake up.
+_END = None
+
+
+class ResultStream:
+    """Consumer handle for one request's incremental results.
+
+    Producer methods (``offer``/``finish``) are called by the service's
+    worker threads; everything else is the client surface.  The chunk
+    buffer holds at most ``buffer_chunks`` entries — a slower consumer
+    applies backpressure to the worker up to ``put_timeout_s``, after
+    which the stream is cancelled rather than blocking the batch.
+    """
+
+    def __init__(
+        self,
+        request: AnalysisRequest,
+        request_id: str,
+        *,
+        buffer_chunks: int = 8,
+        put_timeout_s: float = 30.0,
+    ) -> None:
+        self.request = request
+        self.request_id = request_id
+        self._chunks: "queue.Queue[Optional[ChunkResult]]" = queue.Queue(
+            maxsize=max(1, int(buffer_chunks))
+        )
+        self._put_timeout_s = float(put_timeout_s)
+        self._done = threading.Event()
+        self._cancelled = threading.Event()
+        self._lock = threading.Lock()
+        self._result: Optional[ServiceResult] = None
+        self._cancel_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Client surface.
+    # ------------------------------------------------------------------
+    @property
+    def cancelled(self) -> bool:
+        """Whether the consumer (or a timeout) cancelled this stream."""
+        return self._cancelled.is_set()
+
+    @property
+    def cancel_reason(self) -> Optional[str]:
+        """Why the stream was cancelled, when it was."""
+        return self._cancel_reason
+
+    def cancel(self, reason: str = "cancelled by client") -> None:
+        """Disconnect: stop receiving chunks and release the producer.
+
+        Safe to call at any time and idempotent.  The producer observes
+        the flag at its next chunk boundary; buffered chunks are dropped
+        so a blocked producer ``put`` unblocks immediately.
+        """
+        with self._lock:
+            if self._cancel_reason is None:
+                self._cancel_reason = str(reason)
+        self._cancelled.set()
+        self._drain()
+
+    def chunks(self, timeout_s: Optional[float] = None) -> Iterator[ChunkResult]:
+        """Yield chunks as they arrive until the stream terminates.
+
+        ``timeout_s`` bounds the wait for *each* chunk; expiry raises
+        ``TimeoutError``.  Iteration simply stops at end of stream (the
+        terminal result is read separately via :meth:`result`).
+        """
+        while True:
+            if self._cancelled.is_set():
+                return
+            try:
+                item = self._chunks.get(timeout=timeout_s or 0.25)
+            except queue.Empty:
+                if timeout_s is not None:
+                    raise TimeoutError(
+                        f"no chunk within {timeout_s}s on {self.request_id}"
+                    ) from None
+                if self._done.is_set() and self._chunks.empty():
+                    return
+                continue
+            if item is _END:
+                return
+            yield item
+
+    def result(self, timeout_s: Optional[float] = None) -> ServiceResult:
+        """Block for the terminal result (chunks need not be drained).
+
+        Raises ``TimeoutError`` if the request has not terminated within
+        ``timeout_s``.
+        """
+        if not self._done.wait(timeout=timeout_s):
+            raise TimeoutError(
+                f"request {self.request_id} not finished within {timeout_s}s"
+            )
+        result = self._result
+        assert result is not None
+        return result
+
+    def done(self) -> bool:
+        """Whether the terminal result is available."""
+        return self._done.is_set()
+
+    # ------------------------------------------------------------------
+    # Producer surface (service-internal).
+    # ------------------------------------------------------------------
+    def offer(self, chunk: ChunkResult) -> bool:
+        """Producer side: enqueue one chunk, honouring backpressure.
+
+        Returns ``False`` when the stream is (or just became) cancelled —
+        including the slow-consumer case where the bounded buffer stayed
+        full for ``put_timeout_s`` — so the caller stops producing for
+        this request without affecting its batch peers.
+        """
+        if self._cancelled.is_set():
+            return False
+        try:
+            self._chunks.put(chunk, timeout=self._put_timeout_s)
+        except queue.Full:
+            self.cancel(
+                reason=(
+                    f"consumer failed to drain within {self._put_timeout_s}s"
+                )
+            )
+            return False
+        return True
+
+    def finish(self, result: ServiceResult) -> None:
+        """Producer side: publish the terminal result (always succeeds).
+
+        The result is stored out-of-band of the bounded chunk buffer, so
+        termination is never subject to backpressure; an ``_END`` sentinel
+        is offered best-effort to wake blocked chunk iterators.
+        """
+        with self._lock:
+            if self._result is None:
+                self._result = result
+        self._done.set()
+        try:
+            self._chunks.put_nowait(_END)
+        except queue.Full:
+            # Iterators also poll `_done`, so a full buffer only delays
+            # wake-up by one poll interval.
+            pass
+
+    def status(self) -> RequestStatus:
+        """Current lifecycle status (terminal once :meth:`done`)."""
+        result = self._result
+        if result is not None:
+            return result.status
+        if self._cancelled.is_set():
+            return RequestStatus.CANCELLED
+        return RequestStatus.PENDING
+
+    def _drain(self) -> None:
+        """Drop buffered chunks so a blocked producer put unblocks."""
+        while True:
+            try:
+                self._chunks.get_nowait()
+            except queue.Empty:
+                return

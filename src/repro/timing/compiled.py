@@ -498,6 +498,24 @@ class CompiledTimingProgram:
         )
         self._end_slots = slot_of[self._end_cols]
 
+    def resident_bytes(self) -> int:
+        """Approximate bytes held resident by this compiled program.
+
+        Sums the numpy arrays owned directly by the program, its levels,
+        and the packed model/wire tables.  Execution arenas and scratch
+        are allocated per :meth:`execute` call and are *not* counted —
+        this is the steady-state cost of keeping the artifact warm, which
+        the service's artifact registry reports for eviction accounting.
+        """
+        total = 0
+        containers: List[object] = [self, self._packed_models, self._packed_wires]
+        containers.extend(self.levels)
+        for container in containers:
+            for value in vars(container).values():
+                if isinstance(value, np.ndarray):
+                    total += int(value.nbytes)
+        return total
+
     # ------------------------------------------------------------------
     # Execution.
     # ------------------------------------------------------------------

@@ -92,7 +92,16 @@ class StreamingSTAResult:
             ) from None
 
     def update(self, chunk: STAResult) -> None:
-        """Merge one chunk's :class:`STAResult` into the running moments."""
+        """Merge one chunk's :class:`STAResult` into the running moments.
+
+        A zero-sample chunk is a no-op: cancelled or short-circuited
+        streams (the service layer emits these when a request is torn
+        down mid-sweep) must neither poison the moments with NaNs nor
+        divide by a zero combined count.
+        """
+        n_b = chunk.num_samples
+        if n_b == 0:
+            return
         names = tuple(chunk.end_arrivals)
         if self._end_names is None:
             self._end_names = names
@@ -100,7 +109,6 @@ class StreamingSTAResult:
             self._end_m2 = np.zeros(len(names))
         elif names != self._end_names:
             raise ValueError("chunk end points changed between chunks")
-        n_b = chunk.num_samples
         n_a = self.num_samples
         n = n_a + n_b
 

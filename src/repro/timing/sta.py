@@ -30,6 +30,7 @@ axis in bounded chunks, so paper-scale ``N = 100K`` runs never hold all
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -160,18 +161,25 @@ class STAEngine:
             net: len(netlist.sinks_of(net)) for net in netlist.nets
         }
         self._program: Optional[CompiledTimingProgram] = None
+        self._program_lock = threading.Lock()
 
     @property
     def program(self) -> CompiledTimingProgram:
-        """The level-compiled array program (built on first use, cached)."""
+        """The level-compiled array program (built on first use, cached).
+
+        Thread-safe: concurrent first accesses (the service layer warms
+        engines from worker threads) build the program exactly once.
+        """
         if self._program is None:
-            self._program = CompiledTimingProgram(
-                self.netlist,
-                self.levelized,
-                [self._models[gate.name] for gate in self.netlist.gates],
-                self._wires,
-                self.net_order(),
-            )
+            with self._program_lock:
+                if self._program is None:
+                    self._program = CompiledTimingProgram(
+                        self.netlist,
+                        self.levelized,
+                        [self._models[gate.name] for gate in self.netlist.gates],
+                        self._wires,
+                        self.net_order(),
+                    )
         return self._program
 
     def _build_wire_models(self) -> None:

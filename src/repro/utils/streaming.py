@@ -79,6 +79,25 @@ class RunningMoments:
             return float("inf") if self.count else 0.0
         return float(np.sqrt(self.variance / self.count))
 
+    def merge(self, other: "RunningMoments") -> None:
+        """Fold another accumulator into this one (pairwise Chan merge).
+
+        Merging an empty accumulator (``count == 0``) is a no-op on
+        either side — a worker that never observed a sample contributes
+        nothing rather than a ``0/0`` NaN.  Used to combine per-worker
+        statistics (e.g. the service scheduler's per-worker latency
+        moments) without retaining samples.
+        """
+        n_b = other.count
+        if n_b == 0:
+            return
+        n_a = self.count
+        n = n_a + n_b
+        delta = other._mean - self._mean
+        self._mean += delta * n_b / n
+        self._m2 += other._m2 + delta * delta * n_a * n_b / n
+        self.count = n
+
 
 #: Marker-position increments of the P² algorithm for quantile ``p``.
 def _p2_increments(p: float) -> np.ndarray:
@@ -111,8 +130,16 @@ class P2Quantile:
         self._dn = _p2_increments(self.p)
 
     def update(self, values: np.ndarray) -> None:
-        """Feed a batch of observations into the estimator."""
-        for value in np.asarray(values, dtype=float).ravel():
+        """Feed a batch of observations into the estimator.
+
+        An empty batch is a no-op (streamed runs can legitimately end
+        with a zero-sample chunk); single-observation batches are the
+        ordinary per-element update.
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        for value in values:
             self._push(float(value))
 
     def _push(self, x: float) -> None:

@@ -1,0 +1,58 @@
+"""The analysis gate applied to the service layer specifically.
+
+``repro.service`` is the library's most concurrency-heavy package, so it
+must not just be violation-free under the full 12-rule gate — the
+concurrency analyses (REPRO-PAR001/002) must actually *see* its worker
+fan-out.  The scheduler submits a module-level entry point precisely so
+the submit-root finder resolves it; these tests pin that contract so a
+refactor to an unanalyzable fan-out (lambda, bound method on an opaque
+receiver) fails loudly instead of silently shrinking gate coverage.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import analyze_paths, analyze_project_paths
+from repro.analysis.concurrency import _find_submit_roots, check_concurrency
+from repro.analysis.project import ProjectModel
+
+SRC_REPRO = Path(repro.__file__).resolve().parent
+SERVICE_DIR = SRC_REPRO / "service"
+
+WORKER_ROOT = "repro.service.scheduler._run_worker"
+
+
+def test_scheduler_fan_out_is_a_visible_submit_root():
+    model = ProjectModel.from_paths([SRC_REPRO])
+    roots = {root.qualname for root in _find_submit_roots(model)}
+    assert WORKER_ROOT in roots, (
+        "the scheduler's pool.submit(_run_worker, ...) is no longer "
+        "resolvable by REPRO-PAR001/002; keep the worker entry point "
+        f"module-level (found roots: {sorted(roots)})"
+    )
+
+
+def test_worker_call_graph_is_concurrency_clean():
+    model = ProjectModel.from_paths([SRC_REPRO])
+    found = [
+        violation
+        for violation in check_concurrency(model)
+        if "service" in str(violation.path)
+    ]
+    rendered = "\n".join(v.format() for v in found)
+    assert not found, f"concurrency violations in repro.service:\n{rendered}"
+
+
+def test_service_package_is_file_level_clean():
+    found = analyze_paths([SERVICE_DIR])
+    rendered = "\n".join(v.format() for v in found)
+    assert not found, f"repro-lint violations in repro.service:\n{rendered}"
+
+
+def test_service_package_passes_the_project_gate_standalone():
+    # The service files must hold up even when analyzed as their own
+    # project scope (no other module's context to lean on).
+    report = analyze_project_paths([SERVICE_DIR])
+    rendered = "\n".join(v.format() for v in report.violations)
+    assert not report.violations, f"gate violations:\n{rendered}"
+    assert not report.has_syntax_errors

