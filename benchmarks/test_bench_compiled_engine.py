@@ -4,12 +4,12 @@ The level-compiled engine (with its optional native kernel) is the PR's
 performance tentpole: on the largest default Table 1 circuit (s15850,
 9 772 gates) at N = 2000 it must be at least 5× faster than the
 reference engine while agreeing to floating-point round-off.  This bench
-measures both engines best-of-three on identical pre-generated samples —
-isolating the STA core from sample generation — checks the differential
-bound, and records the speedup into ``BENCH_pr2.json``.
+measures both engines on identical pre-generated samples — isolating the
+STA core from sample generation — under the repo's noise discipline
+(small-N warm-up, repeated runs, median + IQR via
+:func:`repro.utils.bench.timed_median`), checks the differential bound,
+and records the medians into the bench JSON.
 """
-
-import time
 
 import numpy as np
 import pytest
@@ -18,8 +18,9 @@ from repro.circuit.benchmarks import get_spec
 from repro.experiments.table1 import default_table1_circuits
 from repro.timing.library import STATISTICAL_PARAMETERS
 from repro.timing.sta import STAEngine
+from repro.utils.bench import timed_median
 
-_ROUNDS = 3
+_REPEATS = 3
 _NUM_SAMPLES = 2000
 
 
@@ -31,7 +32,7 @@ def _largest_default_circuit() -> str:
 
 @pytest.fixture(scope="module")
 def timed_engines(context):
-    """Best-of-three wall-clock of both engines on the largest circuit."""
+    """Median-of-``_REPEATS`` wall-clock of both engines, largest circuit."""
     circuit = _largest_default_circuit()
     netlist = context.circuit(circuit)
     placement = context.placement(circuit)
@@ -45,33 +46,37 @@ def timed_engines(context):
     results = {}
     timings = {}
     for mode in ("compiled", "reference"):
+        # A small-N run absorbs one-time costs (program compile, native
+        # kernel build) without paying a full untimed sweep.
         engine.run(warmup, engine=mode)
-        best = np.inf
-        for _ in range(_ROUNDS):
-            start = time.perf_counter()
+
+        def sweep(mode=mode):
             results[mode] = engine.run(samples, engine=mode)
-            best = min(best, time.perf_counter() - start)
-        timings[mode] = best
+
+        timings[mode] = timed_median(sweep, repeats=_REPEATS, warmup=0)
     return circuit, engine, results, timings
 
 
 def test_compiled_engine_speedup(timed_engines, bench_record):
     circuit, engine, results, timings = timed_engines
-    speedup = timings["reference"] / timings["compiled"]
+    speedup = timings["reference"].median / timings["compiled"].median
     bench_record(
         circuit=circuit,
         num_samples=_NUM_SAMPLES,
         engine="compiled",
         native_kernel=bool(engine.program.last_run_native),
-        compiled_seconds=round(timings["compiled"], 4),
-        reference_seconds=round(timings["reference"], 4),
+        compiled=timings["compiled"].to_dict(),
+        reference=timings["reference"].to_dict(),
+        compiled_seconds=round(timings["compiled"].median, 4),
+        reference_seconds=round(timings["reference"].median, 4),
         speedup=round(speedup, 2),
     )
     assert speedup >= 5.0, (
         f"compiled engine only {speedup:.2f}x faster than reference on "
         f"{circuit} at N={_NUM_SAMPLES} "
-        f"(compiled {timings['compiled']:.3f}s, "
-        f"reference {timings['reference']:.3f}s)"
+        f"(compiled median {timings['compiled'].median:.3f}s "
+        f"± IQR {timings['compiled'].iqr:.3f}s, reference median "
+        f"{timings['reference'].median:.3f}s)"
     )
 
 

@@ -45,14 +45,19 @@ def test_warm_service_beats_cold_process_per_request_5x(
         num_samples=_NUM_SAMPLES,
         warm_p50_ms=round(payload["warm"]["p50_ms"], 2),
         warm_p99_ms=round(payload["warm"]["p99_ms"], 2),
-        cold_mean_ms=round(payload["cold"]["mean_ms"], 1),
+        warm_iqr_ms=round(payload["warm"]["iqr_ms"], 2),
+        cold_median_ms=round(payload["cold"]["median_ms"], 1),
+        cold_iqr_ms=round(payload["cold"]["iqr_ms"], 1),
         warm_speedup=round(speedup, 1),
     )
+    # The gate compares medians (a single preempted request cannot flip
+    # it); the IQRs above are the recorded noise bars.
     assert speedup >= 5.0, (
         f"warm service only {speedup:.2f}x faster than the "
         f"process-per-request cold path "
-        f"(warm mean {payload['warm']['mean_ms']:.1f}ms, "
-        f"cold mean {payload['cold']['mean_ms']:.1f}ms)"
+        f"(warm median {payload['warm']['median_ms']:.1f}ms "
+        f"± IQR {payload['warm']['iqr_ms']:.1f}ms, "
+        f"cold median {payload['cold']['median_ms']:.1f}ms)"
     )
 
 

@@ -407,16 +407,48 @@ def check_c_abi(
 ) -> List[ABIMismatch]:
     """Cross-check the native kernel ABI; empty list means agreement.
 
-    With no arguments, checks the repo's real contract: the exported
-    prototype parsed from ``repro/timing/sta_kernel.c`` against
-    :func:`repro.timing.native.kernel_argtypes`.  Tests inject either
-    side (``c_source`` / ``argtypes`` / ``restype``) to prove mismatch
-    detection without touching the shipped kernel.
+    With no arguments, checks the repo's real contract: *every* exported
+    entry point registered in :func:`repro.timing.native.kernel_abi`
+    (the serial ``sta_eval_gates`` and the multithreaded
+    ``sta_eval_gates_mt``) against the prototypes parsed from
+    ``repro/timing/sta_kernel.c``.  ``function`` narrows the check to
+    one registry entry; ``argtypes`` / ``restype`` / ``c_source`` let
+    tests inject either side to prove mismatch detection without
+    touching the shipped kernel.
     """
     from repro.timing import native
 
-    if function is None:
-        function = native.KERNEL_FUNCTION
+    if argtypes is not None:
+        contracts: List[
+            Tuple[str, Sequence[Optional[type]], Optional[type]]
+        ] = [(function or native.KERNEL_FUNCTION, argtypes, restype)]
+    else:
+        registry = native.kernel_abi()
+        if function is not None:
+            entry = registry.get(function)
+            if entry is None:
+                return [
+                    ABIMismatch(
+                        function=function,
+                        kind="missing-function",
+                        expected=function,
+                        actual=", ".join(sorted(registry)),
+                        message=(
+                            f"function {function!r} is not a registered "
+                            f"kernel entry point (registered: "
+                            f"{', '.join(sorted(registry))})"
+                        ),
+                    )
+                ]
+            registry = {function: entry}
+        contracts = [
+            (name, entry_argtypes, entry_restype)
+            for name, (entry_argtypes, entry_restype) in sorted(
+                registry.items()
+            )
+        ]
+
+    label = function or native.KERNEL_FUNCTION
     if c_source is None:
         path = Path(source_path) if source_path else native.kernel_source_path()
         try:
@@ -424,41 +456,45 @@ def check_c_abi(
         except OSError as exc:
             return [
                 ABIMismatch(
-                    function=function,
+                    function=label,
                     kind="missing-function",
-                    expected=function,
+                    expected=label,
                     actual="<unreadable C source>",
                     message=f"cannot read kernel source {path}: {exc}",
                 )
             ]
-    if argtypes is None:
-        argtypes = native.kernel_argtypes()
-        restype = native.KERNEL_RESTYPE
 
     try:
         prototypes = parse_c_prototypes(c_source)
     except UnsupportedDeclarationError as exc:
         return [
             ABIMismatch(
-                function=function,
+                function=label,
                 kind="unsupported",
                 expected="parseable kernel declaration",
                 actual=str(exc),
                 message=f"cannot parse kernel source: {exc}",
             )
         ]
-    prototype = prototypes.get(function)
-    if prototype is None:
-        return [
-            ABIMismatch(
-                function=function,
-                kind="missing-function",
-                expected=function,
-                actual=", ".join(sorted(prototypes)) or "<no exported functions>",
-                message=(
-                    f"exported function {function!r} not found in kernel "
-                    f"source (found: {', '.join(sorted(prototypes)) or 'none'})"
-                ),
+
+    found: List[ABIMismatch] = []
+    for name, entry_argtypes, entry_restype in contracts:
+        prototype = prototypes.get(name)
+        if prototype is None:
+            found.append(
+                ABIMismatch(
+                    function=name,
+                    kind="missing-function",
+                    expected=name,
+                    actual=", ".join(sorted(prototypes))
+                    or "<no exported functions>",
+                    message=(
+                        f"exported function {name!r} not found in kernel "
+                        f"source (found: "
+                        f"{', '.join(sorted(prototypes)) or 'none'})"
+                    ),
+                )
             )
-        ]
-    return check_function(prototype, argtypes, restype)
+            continue
+        found.extend(check_function(prototype, entry_argtypes, entry_restype))
+    return found

@@ -31,6 +31,7 @@ from repro.mesh.structured import structured_rectangle_mesh
 from repro.place.placer import Placement, place_netlist
 from repro.service.faults import FaultInjector
 from repro.service.request import ServiceConfig
+from repro.timing import native
 from repro.timing.ssta import MonteCarloSSTA
 from repro.utils.artifact_cache import ArtifactCache, get_cache
 
@@ -248,6 +249,11 @@ class ArtifactRegistry:
                         f"harness build failed warm ({exc!r}) and cold "
                         f"({cold_exc!r}) for {key}"
                     ) from cold_exc
+            if self.config.kernel_threads is not None:
+                # Pin the native kernel's sample-lane worker count for
+                # every run through this resident engine; bitwise output
+                # is independent of the pin, so residency stays pure.
+                built.engine.native_threads = int(self.config.kernel_threads)
             with self._lock:
                 self._harnesses[key] = built
             return built
@@ -276,8 +282,26 @@ class ArtifactRegistry:
         with self._lock:
             return dict(self._quarantined)
 
+    def kernel_threads(self) -> int:
+        """Native worker count resident engines sweep with.
+
+        Resolves ``config.kernel_threads`` (falling back to the
+        ``REPRO_NATIVE_THREADS`` environment contract); a malformed
+        environment degrades to 1 here so monitoring never raises.
+        """
+        try:
+            return native.resolve_thread_count(self.config.kernel_threads)
+        except ValueError:
+            return 1
+
     def resident_bytes(self) -> int:
-        """Bytes held by the resident compiled timing programs."""
+        """Bytes held by the resident compiled timing programs.
+
+        Counts each program's arenas plus the per-thread native scratch
+        its sweeps allocate at the configured kernel thread count — the
+        high-water footprint a saturated request leaves resident.
+        """
+        threads = self.kernel_threads()
         with self._lock:
             harnesses = list(self._harnesses.values())
         total = 0
@@ -285,6 +309,7 @@ class ArtifactRegistry:
             program = harness.engine._program
             if program is not None:
                 total += program.resident_bytes()
+                total += program.native_scratch_bytes(threads)
         return total
 
     def stats(self) -> Dict[str, object]:
@@ -303,5 +328,6 @@ class ArtifactRegistry:
             "misses": misses,
             "resident": dict(counts),
             "resident_bytes": self.resident_bytes(),
+            "kernel_threads": self.kernel_threads(),
             "quarantined": quarantined,
         }

@@ -58,7 +58,11 @@ class ServiceConfig:
     worker count, admission-queue capacity, batch width, and per-stream
     buffering.  ``cache_directory`` enables the checksummed on-disk
     artifact cache for placements and KLE eigensolves (``None`` keeps the
-    service fully in-memory/hermetic).
+    service fully in-memory/hermetic).  ``kernel_threads`` pins the
+    native STA kernel's sample-lane worker count for every resident
+    engine (``None`` defers to ``REPRO_NATIVE_THREADS`` per run); it is
+    multiplicative with ``num_workers``, so a saturated service should
+    keep ``num_workers * kernel_threads`` near the core count.
     """
 
     kernels: Mapping[str, CovarianceKernel] = field(
@@ -76,6 +80,7 @@ class ServiceConfig:
     stream_put_timeout_s: float = 30.0
     root_seed: Optional[int] = None
     cache_directory: Optional[str] = None
+    kernel_threads: Optional[int] = None
 
     def validate(self) -> None:
         """Raise ``ValueError`` on an internally inconsistent config."""
@@ -93,6 +98,8 @@ class ServiceConfig:
             raise ValueError("max_batch_requests must be >= 1")
         if self.stream_buffer_chunks < 1:
             raise ValueError("stream_buffer_chunks must be >= 1")
+        if self.kernel_threads is not None and self.kernel_threads < 1:
+            raise ValueError("kernel_threads must be >= 1 when given")
 
 
 @dataclass(frozen=True)

@@ -94,7 +94,10 @@ BLOCK_BYTE_BUDGET = 96 * 1024 * 1024
 #: (stride ``N_g`` doubles), so the whole ``(N_b, N_g)`` projection must
 #: stay cache-resident or every element costs a full cache-line fetch.
 #: Measured on s15850/N=2000 the optimum is flat across 32–128 samples
-#: per block and ~35% faster than RAM-sized blocks.
+#: per block and ~35% faster than RAM-sized blocks.  With ``T`` kernel
+#: threads the budget is divided by ``T``: each worker owns ``1/T`` of
+#: the block's lanes plus a private scratch block, and the per-core
+#: caches it runs out of don't grow with the team size.
 NATIVE_BLOCK_BYTE_BUDGET = 12 * 1024 * 1024
 
 
@@ -537,14 +540,42 @@ class CompiledTimingProgram:
         )
         return max(32, min(num_samples, BLOCK_BYTE_BUDGET // per_sample))
 
-    def _native_block_size(self, num_samples: int, width: int) -> int:
-        """Sample block size for the native kernel (see the budget note)."""
+    def _native_block_size(
+        self, num_samples: int, width: int, threads: int = 1
+    ) -> int:
+        """Sample block size for the native kernel (see the budget note).
+
+        ``threads`` divides the byte budget so each worker's share of
+        the block — its lane slice of the arenas and ``u``, plus its
+        private ``4 × B`` scratch block — still fits the per-core cache
+        it actually runs out of.
+        """
         per_sample = 8 * (
-            2 * self._packed_models.num_gates + 2 * max(width, 1) + 8
+            2 * self._packed_models.num_gates
+            + 2 * max(width, 1)
+            + 4 * max(threads, 1)
+            + 4
         )
-        return max(
-            32, min(num_samples, NATIVE_BLOCK_BYTE_BUDGET // per_sample)
+        budget = NATIVE_BLOCK_BYTE_BUDGET // max(threads, 1)
+        return max(32, min(num_samples, budget // per_sample))
+
+    def native_scratch_bytes(self, threads: int = 1) -> int:
+        """Transient bytes one native ``execute`` holds at ``threads``.
+
+        The arenas, the per-worker scratch blocks, and the per-block
+        ``u`` projection buffers for a full-sized (budget-bound) block.
+        Not part of :meth:`resident_bytes` — these buffers live only for
+        the duration of a run — but the service accounts them so a
+        thread-count change shows up in capacity planning.
+        """
+        threads = max(int(threads), 1)
+        width = self.num_slots
+        block = self._native_block_size(
+            NATIVE_BLOCK_BYTE_BUDGET, width, threads
         )
+        num_gates = self._packed_models.num_gates
+        per_block = 2 * width + 4 * threads + 2 * num_gates
+        return 8 * block * per_block
 
     def execute(
         self,
@@ -557,6 +588,7 @@ class CompiledTimingProgram:
         c_scales: Optional[np.ndarray] = None,
         input_slew_ps: float,
         keep_all_arrivals: bool = False,
+        native_threads: Optional[int] = None,
     ) -> CompiledRunOutput:
         """Run the compiled program for ``num_samples`` MC samples.
 
@@ -575,6 +607,10 @@ class CompiledTimingProgram:
         keep_all_arrivals:
             Use the identity (net-indexed) arena so every net's arrival
             survives to the result.
+        native_threads:
+            Worker count for the native kernel's sample-parallel entry
+            point; ``None`` defers to ``REPRO_NATIVE_THREADS``.  Results
+            are bitwise identical for every value — only speed changes.
         """
         keep_all = bool(keep_all_arrivals)
         width = self.num_nets if keep_all else self.num_slots
@@ -592,6 +628,7 @@ class CompiledTimingProgram:
                     parameter_products,
                     float(input_slew_ps),
                     keep_all,
+                    native.resolve_thread_count(native_threads),
                 )
         self.last_run_native = False
 
@@ -676,6 +713,7 @@ class CompiledTimingProgram:
         ],
         input_slew_ps: float,
         keep_all: bool,
+        threads: int = 1,
     ) -> CompiledRunOutput:
         """Drive ``sta_kernel.c`` over sample blocks.
 
@@ -686,16 +724,26 @@ class CompiledTimingProgram:
         slot-major order, so partial trailing blocks simply use a
         shorter sample stride — per-sample results are independent of
         the blocking, keeping chunked runs bitwise identical.
+
+        With ``threads > 1`` the block's sample lanes are partitioned
+        across the kernel's worker team (``sta_eval_gates_mt``); each
+        worker gets a private ``4 × B`` scratch block inside
+        ``kscratch``.  Per-lane arithmetic is identical under every
+        partition, so results are bitwise independent of ``threads``.
         """
         import ctypes
 
+        threads = max(int(threads), 1)
+        kernel_mt = native.load_kernel_mt() if threads > 1 else None
+        if threads > 1 and kernel_mt is None:
+            threads = 1
         width = self.num_nets if keep_all else self.num_slots
         num_gates = self._packed_models.num_gates
-        block = self._native_block_size(num_samples, width)
+        block = self._native_block_size(num_samples, width, threads)
 
         arena_a = np.empty(width * block)
         arena_s = np.empty(width * block)
-        kscratch = np.empty(4 * block)
+        kscratch = np.empty(4 * block * threads)
         u_buffer = tmp_buffer = None
         if parameter_products:
             u_buffer = np.empty((block, num_gates))
@@ -732,7 +780,9 @@ class CompiledTimingProgram:
                     else:
                         np.multiply(matrix[start:stop], weights, out=tmp)
                         u += tmp
-            kernel(
+            entry: Any = kernel if threads == 1 else kernel_mt
+            extra: Tuple[int, ...] = () if threads == 1 else (threads,)
+            entry(
                 rows,
                 num_gates,
                 pd(u) if u is not None else None,
@@ -766,6 +816,7 @@ class CompiledTimingProgram:
                 pd(arena_a),
                 pd(arena_s),
                 pd(kscratch),
+                *extra,
             )
             av = arena_a[: width * rows].reshape(width, rows)
             ends = None

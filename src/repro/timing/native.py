@@ -17,6 +17,19 @@ within floating-point reassociation error (``rtol=1e-12``) of both the
 numpy path and the reference engine, and are bitwise reproducible across
 chunk/block partitionings.
 
+Threading: the kernel also exports ``sta_eval_gates_mt``, which
+partitions the sample lanes of each block across a worker team.  The
+parallel backend is probed at build time (:func:`thread_backend`):
+OpenMP when a ``-fopenmp`` compile succeeds, raw pthreads otherwise,
+sequential-sweep fallback when neither works — and the chosen backend's
+flags are folded into the build key, so toolchains with different
+threading support never share a ``.so``.  ``REPRO_NATIVE_THREADS``
+selects the worker count (unset → 1, ``auto``/``0`` → all cores, a
+positive integer → that many; anything else raises ``ValueError``) and
+``REPRO_NATIVE_THREAD_BACKEND`` can pin the backend for testing.
+Per-lane arithmetic is identical for every lane partition, so results
+are bitwise independent of the thread count.
+
 Setting ``REPRO_SANITIZE=ubsan`` (or ``asan``, comma-separable) switches
 to an instrumented build — ``-O1 -g -fsanitize=... -fno-sanitize-
 recover=all`` — cached under its own key so sanitizer objects never
@@ -53,15 +66,36 @@ _SANITIZE_FLAG_MAP = {
 #: bitwise behavior and cache key) never change when sanitizers exist.
 _SANITIZE_BASE_CFLAGS = ["-O1", "-g", "-shared", "-fPIC"]
 
-#: Name of the exported kernel entry point in ``sta_kernel.c``.
+#: Name of the serial kernel entry point in ``sta_kernel.c``.
 KERNEL_FUNCTION = "sta_eval_gates"
 
-#: ctypes result type of the kernel (``void``).
+#: Name of the sample-parallel kernel entry point in ``sta_kernel.c``.
+KERNEL_FUNCTION_MT = "sta_eval_gates_mt"
+
+#: ctypes result type of both kernels (``void``).
 KERNEL_RESTYPE = None
 
-_cached: Optional[object] = None
+#: Compiler flags per thread backend.  ``pthreads`` defines
+#: ``REPRO_USE_PTHREADS`` so ``sta_kernel.c`` compiles its pthread
+#: driver instead of relying on the (absent) ``_OPENMP`` macro.
+_BACKEND_FLAGS: Dict[str, Tuple[str, ...]] = {
+    "openmp": ("-fopenmp",),
+    "pthreads": ("-pthread", "-DREPRO_USE_PTHREADS"),
+    "none": (),
+}
+
+_OPENMP_PROBE = "#include <omp.h>\nint probe(void){return omp_get_max_threads();}\n"
+_PTHREAD_PROBE = (
+    "#include <pthread.h>\n"
+    "static void *noop(void *p){return p;}\n"
+    "int probe(void){pthread_t t;"
+    "return pthread_create(&t, 0, noop, 0) == 0 ? pthread_join(t, 0) : 1;}\n"
+)
+
+_cached: Optional[Tuple[object, Optional[object]]] = None
 _cached_key: Optional[str] = None
 _compiler_identity_cache: Optional[str] = None
+_thread_backend_cache: Optional[str] = None
 
 
 def _cache_dir() -> Path:
@@ -101,15 +135,133 @@ def sanitize_mode() -> Tuple[str, ...]:
     return tuple(sorted(groups))
 
 
+def native_thread_count() -> int:
+    """Worker count requested via ``REPRO_NATIVE_THREADS``.
+
+    Unset (or blank) means 1 — the serial hot path, so existing
+    single-threaded deployments never change behavior implicitly.
+    ``auto`` or ``0`` means every core ``os.cpu_count()`` reports.  A
+    positive integer selects that many workers.  Anything else raises
+    ``ValueError``: a typo silently running serial would invalidate a
+    thread-scaling measurement.
+
+    Results never depend on this knob — the kernel's per-lane
+    arithmetic is identical under every lane partition — only speed
+    does.
+    """
+    raw = os.environ.get("REPRO_NATIVE_THREADS", "").strip()
+    if not raw:
+        return 1
+    if raw.lower() in ("auto", "0"):
+        return max(1, os.cpu_count() or 1)
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid REPRO_NATIVE_THREADS {raw!r}: expected a positive "
+            f"integer, 'auto'/'0' (all cores), or unset (serial)"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"invalid REPRO_NATIVE_THREADS {raw!r}: thread count must be "
+            f">= 1 (use 'auto' or '0' for all cores)"
+        )
+    return value
+
+
+def resolve_thread_count(explicit: Optional[int] = None) -> int:
+    """Effective worker count: explicit override, else the env knob.
+
+    ``explicit`` comes from API plumbing (``STAEngine.run(...,
+    native_threads=)``, the service config); ``None`` defers to
+    ``REPRO_NATIVE_THREADS``.  Values below 1 raise ``ValueError``.
+    """
+    if explicit is None:
+        return native_thread_count()
+    value = int(explicit)
+    if value < 1:
+        raise ValueError(f"native_threads must be >= 1, got {explicit!r}")
+    return value
+
+
+def _probe_compiles(snippet: str, flags: Sequence[str]) -> bool:
+    """Whether ``cc`` builds ``snippet`` into a shared object with ``flags``."""
+    tmpdir = None
+    try:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro_thread_probe_")
+        src = Path(tmpdir.name) / "probe.c"
+        src.write_text(snippet, encoding="utf-8")
+        out = Path(tmpdir.name) / "probe.so"
+        proc = subprocess.run(
+            ["cc", "-shared", "-fPIC", *flags, str(src), "-o", str(out)],
+            capture_output=True,
+            timeout=60,
+            check=False,
+        )
+        return proc.returncode == 0
+    except (OSError, subprocess.SubprocessError, ValueError):
+        return False
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+
+def thread_backend() -> str:
+    """The thread backend a kernel build would use (memoized compile probe).
+
+    Probes the toolchain once per process: ``"openmp"`` when a
+    ``-fopenmp`` compile succeeds, else ``"pthreads"`` when ``-pthread``
+    works, else ``"none"`` (the ``_mt`` entry point still exists but
+    sweeps lane ranges sequentially).  ``REPRO_NATIVE_THREAD_BACKEND``
+    pins the answer — ``openmp``/``pthreads``/``none``, case-insensitive
+    — skipping the probe, which is how tests exercise the fallback
+    paths deterministically; an unknown value raises ``ValueError``.
+    """
+    global _thread_backend_cache
+    forced = os.environ.get("REPRO_NATIVE_THREAD_BACKEND", "").strip().lower()
+    if forced:
+        if forced not in _BACKEND_FLAGS:
+            raise ValueError(
+                f"unknown REPRO_NATIVE_THREAD_BACKEND {forced!r}; expected "
+                f"one of {sorted(_BACKEND_FLAGS)} or unset (auto-probe)"
+            )
+        return forced
+    if _thread_backend_cache is None:
+        if _probe_compiles(_OPENMP_PROBE, _BACKEND_FLAGS["openmp"]):
+            backend = "openmp"
+        elif _probe_compiles(_PTHREAD_PROBE, ("-pthread",)):
+            backend = "pthreads"
+        else:
+            backend = "none"
+        # Per-process memo: the toolchain cannot change mid-process, and
+        # each pool worker probing cc once is the intended behavior.
+        _thread_backend_cache = backend  # repro-lint: disable=REPRO-PAR001
+    return _thread_backend_cache
+
+
+def thread_backend_flags() -> List[str]:
+    """Compiler flags for the probed (or pinned) thread backend."""
+    return list(_BACKEND_FLAGS[thread_backend()])
+
+
 def _effective_cflags() -> List[str]:
-    """Compiler flags for the current build mode (optimized or sanitize)."""
+    """Compiler flags for the current build mode (optimized or sanitize).
+
+    The thread-backend flags ride along in both modes — the sanitize
+    job must instrument the same threaded driver the optimized build
+    runs — and land in the build key via :func:`_build_key`.
+    """
     groups = sanitize_mode()
     if not groups:
-        return list(_CFLAGS)
-    return _SANITIZE_BASE_CFLAGS + [
-        f"-fsanitize={','.join(groups)}",
-        "-fno-sanitize-recover=all",
-    ]
+        return list(_CFLAGS) + thread_backend_flags()
+    return (
+        _SANITIZE_BASE_CFLAGS
+        + [
+            f"-fsanitize={','.join(groups)}",
+            "-fno-sanitize-recover=all",
+        ]
+        + thread_backend_flags()
+    )
 
 
 def _compiler_identity() -> str:
@@ -147,12 +299,13 @@ def _build_key(source: bytes, cflags: Sequence[str]) -> str:
     return digest.hexdigest()[:16]
 
 
-def kernel_build_info() -> Dict[str, Union[str, Tuple[str, ...], List[str]]]:
+def kernel_build_info() -> Dict[str, Union[str, int, Tuple[str, ...], List[str]]]:
     """Describe the build the current environment would produce.
 
     Purely informational (used by tests and bench reports): the cache
-    key, effective flags, sanitizer groups and compiler identity —
-    without triggering a compile.
+    key, effective flags, sanitizer groups, compiler identity, thread
+    backend and the worker count the env would select — without
+    triggering a compile.
     """
     try:
         source = _SOURCE.read_bytes()
@@ -164,6 +317,8 @@ def kernel_build_info() -> Dict[str, Union[str, Tuple[str, ...], List[str]]]:
         "cflags": cflags,
         "sanitize": sanitize_mode(),
         "compiler": _compiler_identity(),
+        "thread_backend": thread_backend(),
+        "threads": native_thread_count(),
     }
 
 
@@ -197,20 +352,45 @@ def kernel_argtypes() -> List[type]:
     ]
 
 
-def load_kernel() -> Optional[object]:
-    """Return the ``sta_eval_gates`` ctypes function, or ``None``.
+def kernel_argtypes_mt() -> List[type]:
+    """The ctypes ``argtypes`` declaration for :data:`KERNEL_FUNCTION_MT`.
+
+    The multithreaded entry point takes the serial kernel's parameter
+    list plus a trailing ``int64_t num_threads``; its ``scratch`` must
+    hold ``4 × B × num_threads`` doubles (one private block per worker).
+    """
+    return kernel_argtypes() + [ctypes.c_int64]
+
+
+def kernel_abi() -> Dict[str, Tuple[List[type], Optional[type]]]:
+    """Every exported kernel entry point → (argtypes, restype).
+
+    The C-ABI cross-checker iterates this registry, so adding a kernel
+    entry point here is what puts it under the lint gate's protection.
+    """
+    return {
+        KERNEL_FUNCTION: (kernel_argtypes(), KERNEL_RESTYPE),
+        KERNEL_FUNCTION_MT: (kernel_argtypes_mt(), KERNEL_RESTYPE),
+    }
+
+
+def _load_functions() -> Optional[Tuple[object, Optional[object]]]:
+    """Build/load the kernel library; return ``(serial_fn, mt_fn)``.
 
     The compiled shared object is cached per source/flag hash under the
     artifact cache directory; builds are atomic (compile to a temp file,
     then ``os.replace``) so concurrent processes — e.g. ``table1``
-    workers — never load a half-written library.
+    workers — never load a half-written library.  ``mt_fn`` is ``None``
+    for a stale library that predates the multithreaded entry point
+    (possible only with a hand-placed ``.so``, since the build key
+    hashes the source).
     """
     global _cached, _cached_key
     if os.environ.get("REPRO_NO_NATIVE"):
         return None
-    # A malformed REPRO_SANITIZE raises here, before any fallback logic:
-    # silently running the uninstrumented kernel because of a typo would
-    # invalidate what the sanitizer run claims to prove.
+    # A malformed REPRO_SANITIZE or thread-backend pin raises here,
+    # before any fallback logic: silently running the wrong kernel
+    # because of a typo would invalidate what the run claims to prove.
     cflags = _effective_cflags()
     try:
         source = _SOURCE.read_bytes()
@@ -252,7 +432,35 @@ def load_kernel() -> Optional[object]:
         return None
     fn.argtypes = kernel_argtypes()
     fn.restype = KERNEL_RESTYPE
-    # Per-process memo of the loaded ctypes function: workers each dlopen
-    # the (disk-shared) .so once; nothing reads this across processes.
-    _cached, _cached_key = fn, key  # repro-lint: disable=REPRO-PAR001
-    return fn
+    fn_mt: Optional[object] = None
+    try:
+        raw_mt = getattr(lib, KERNEL_FUNCTION_MT)
+    except AttributeError:
+        raw_mt = None
+    if raw_mt is not None:
+        raw_mt.argtypes = kernel_argtypes_mt()
+        raw_mt.restype = KERNEL_RESTYPE
+        fn_mt = raw_mt
+    # Per-process memo of the loaded ctypes functions: workers each
+    # dlopen the (disk-shared) .so once; nothing reads this across
+    # processes.
+    _cached, _cached_key = (fn, fn_mt), key  # repro-lint: disable=REPRO-PAR001
+    return _cached
+
+
+def load_kernel() -> Optional[object]:
+    """Return the serial ``sta_eval_gates`` ctypes function, or ``None``."""
+    loaded = _load_functions()
+    return None if loaded is None else loaded[0]
+
+
+def load_kernel_mt() -> Optional[object]:
+    """Return the ``sta_eval_gates_mt`` ctypes function, or ``None``.
+
+    ``None`` whenever :func:`load_kernel` would also return ``None``.
+    The function exists even when :func:`thread_backend` is ``"none"``
+    — it then sweeps the lane ranges sequentially, preserving the
+    bitwise contract with zero speedup.
+    """
+    loaded = _load_functions()
+    return None if loaded is None else loaded[1]

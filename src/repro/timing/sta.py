@@ -129,6 +129,7 @@ class STAEngine:
         library: Optional[CellLibrary] = None,
         *,
         engine: str = "compiled",
+        native_threads: Optional[int] = None,
     ):
         if placement.netlist is not netlist:
             raise ValueError("placement does not belong to this netlist")
@@ -136,10 +137,20 @@ class STAEngine:
             raise ValueError(
                 f"engine must be one of {ENGINE_MODES}, got {engine!r}"
             )
+        if native_threads is not None and int(native_threads) < 1:
+            raise ValueError(
+                f"native_threads must be >= 1, got {native_threads!r}"
+            )
         self.netlist = netlist
         self.placement = placement
         self.library = library or CellLibrary()
         self.engine = engine
+        #: Default worker count for the native kernel's sample-parallel
+        #: entry point; ``None`` defers to ``REPRO_NATIVE_THREADS``.
+        #: Bitwise-neutral: results never depend on this knob.
+        self.native_threads = (
+            None if native_threads is None else int(native_threads)
+        )
         self.levelized = levelize(netlist)
         self._gate_index: Dict[str, int] = {
             gate.name: i for i, gate in enumerate(netlist.gates)
@@ -235,6 +246,7 @@ class STAEngine:
         keep_all_arrivals: bool = False,
         engine: Optional[str] = None,
         chunk_size: Optional[int] = None,
+        native_threads: Optional[int] = None,
     ) -> STAResult:
         """Time the circuit for all samples at once.
 
@@ -270,9 +282,16 @@ class STAEngine:
             ``chunk_size × level_width`` instead of ``N × level_width``,
             and per-chunk results are concatenated.  Results are
             identical to an unchunked run.
+        native_threads:
+            Per-call override of the native kernel's worker count
+            (``None`` → the engine's :attr:`native_threads`, then
+            ``REPRO_NATIVE_THREADS``).  Results are bitwise identical
+            for every thread count — only wall-clock changes.
         """
         if engine is None:
             engine = self.engine
+        if native_threads is None:
+            native_threads = self.native_threads
         if engine not in ENGINE_MODES:
             raise ValueError(
                 f"engine must be one of {ENGINE_MODES}, got {engine!r}"
@@ -299,6 +318,7 @@ class STAEngine:
                     input_slew_ps=input_slew_ps,
                     keep_all_arrivals=keep_all_arrivals,
                     engine=engine,
+                    native_threads=native_threads,
                 )
         if engine == "compiled":
             return self._run_compiled(
@@ -306,6 +326,7 @@ class STAEngine:
                 wire_scales,
                 input_slew_ps=input_slew_ps,
                 keep_all_arrivals=keep_all_arrivals,
+                native_threads=native_threads,
             )
         return self._run_reference(
             parameter_samples,
@@ -325,6 +346,7 @@ class STAEngine:
         input_slew_ps: Optional[float],
         keep_all_arrivals: bool,
         engine: str,
+        native_threads: Optional[int],
     ) -> STAResult:
         """Split the sample axis into bounded chunks and merge the results."""
         worst_parts: List[np.ndarray] = []
@@ -350,6 +372,7 @@ class STAEngine:
                 input_slew_ps=input_slew_ps,
                 keep_all_arrivals=keep_all_arrivals,
                 engine=engine,
+                native_threads=native_threads,
             )
             worst_parts.append(part.worst_delay)
             for net, values in part.end_arrivals.items():
@@ -369,6 +392,7 @@ class STAEngine:
         *,
         input_slew_ps: Optional[float],
         keep_all_arrivals: bool,
+        native_threads: Optional[int],
     ) -> STAResult:
         """One pass of the level-compiled array program."""
         names, matrices, num_samples = self._validated_samples(
@@ -390,6 +414,7 @@ class STAEngine:
             c_scales=wire_scales.get("C") if wire_scales else None,
             input_slew_ps=float(input_slew_ps),
             keep_all_arrivals=keep_all_arrivals,
+            native_threads=native_threads,
         )
         return STAResult(
             end_arrivals=output.end_arrivals,

@@ -1,4 +1,5 @@
-"""Shared utilities: RNG, linear algebra, streaming stats, artifact cache."""
+"""Shared utilities: RNG, linear algebra, streaming stats, artifact cache,
+bench timing."""
 
 from repro.utils.artifact_cache import (
     ArtifactCache,
@@ -11,6 +12,7 @@ from repro.utils.artifact_cache import (
     reset_cache_registry,
     write_artifact,
 )
+from repro.utils.bench import TimingStats, timed_median
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.linalg import (
     cholesky_with_jitter,
@@ -26,6 +28,7 @@ __all__ = [
     "CorruptArtifactError",
     "P2Quantile",
     "RunningMoments",
+    "TimingStats",
     "as_generator",
     "cache_stats",
     "cholesky_with_jitter",
@@ -37,5 +40,6 @@ __all__ = [
     "reset_cache_registry",
     "spawn_generators",
     "symmetric_generalized_eigh",
+    "timed_median",
     "write_artifact",
 ]

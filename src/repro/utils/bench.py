@@ -1,0 +1,101 @@
+"""Noise-disciplined micro-benchmark timing: warm-up, repeats, median/IQR.
+
+Single-shot wall-clock numbers on a shared machine are mostly noise:
+the first run pays JIT/page-fault/cache-fill costs, and any run can be
+preempted.  The discipline here is the standard one — run the callable a
+few times untimed (warm-up), then time ``repeats`` independent runs and
+summarize with order statistics (median and interquartile range) instead
+of a mean that one preempted run can poison.
+
+:func:`timed_median` is the one entry point benches use; it returns a
+:class:`TimingStats` whose fields serialize directly into the bench
+JSON.  Perf *gates* should compare medians and report the IQR as the
+noise bar; a gate on a single run is a flake generator.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Union
+
+__all__ = ["TimingStats", "timed_median"]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Order-statistic summary of repeated timings of one callable.
+
+    ``median`` is the headline number; ``iqr`` (p75 − p25) is the noise
+    bar; ``best``/``worst`` bound the observed range.  All values are
+    seconds.
+    """
+
+    median: float
+    iqr: float
+    best: float
+    worst: float
+    repeats: int
+    warmup: int
+    samples: List[float]
+
+    def to_dict(self) -> Dict[str, Union[float, int, List[float]]]:
+        """JSON-serializable form for bench records."""
+        return {
+            "median_s": self.median,
+            "iqr_s": self.iqr,
+            "best_s": self.best,
+            "worst_s": self.worst,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "samples_s": list(self.samples),
+        }
+
+
+def timed_median(
+    fn: Callable[[], object],
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+) -> TimingStats:
+    """Time ``fn()`` with warm-up and repeats; summarize median + IQR.
+
+    ``warmup`` untimed calls absorb one-time costs (kernel build, page
+    faults, cache fill); ``repeats`` timed calls feed the order
+    statistics.  The callable's return value is discarded — time the
+    side-effect-free closure you would assert on separately.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    ordered = sorted(samples)
+    return TimingStats(
+        median=_percentile(ordered, 0.5),
+        iqr=_percentile(ordered, 0.75) - _percentile(ordered, 0.25),
+        best=ordered[0],
+        worst=ordered[-1],
+        repeats=repeats,
+        warmup=warmup,
+        samples=samples,
+    )

@@ -63,6 +63,7 @@ class TestRequestValidation:
             dict(max_queue=0),
             dict(max_batch_requests=0),
             dict(stream_buffer_chunks=0),
+            dict(kernel_threads=0),
         ],
     )
     def test_malformed_configs_are_rejected(self, kwargs):
@@ -210,6 +211,22 @@ class TestResidency:
             service.warm_up("c17")
             assert service.stats()["hits"] > before_hits
         assert service.stats()["running"] is False
+
+    def test_kernel_threads_pin_reaches_engine_and_stats(self):
+        service = SSTAService(tiny_config(kernel_threads=2))
+        with service:
+            harness = service.warm_up("c17")
+            assert harness.engine.native_threads == 2
+            stats = service.stats()
+            assert stats["kernel_threads"] == 2
+            # resident_bytes must account the per-thread native scratch a
+            # sweep allocates at the pinned lane count, on top of the
+            # program's arenas.
+            program = harness.engine.program
+            assert stats["resident_bytes"] == (
+                program.resident_bytes() + program.native_scratch_bytes(2)
+            )
+            assert program.native_scratch_bytes(2) > 0
 
     def test_same_key_requests_reuse_one_resident_harness(self):
         service = SSTAService(tiny_config())

@@ -35,9 +35,15 @@ def test_sanitize_mode_rejects_unknown_tokens(monkeypatch):
         native.sanitize_mode()
 
 
-def test_default_cflags_are_unchanged_by_the_sanitize_feature():
+def test_default_cflags_are_unchanged_by_the_sanitize_feature(monkeypatch):
+    # Only the probed thread backend's flags ride along with the
+    # optimized set; with the backend pinned off, the flags are exactly
+    # the baseline _CFLAGS.
+    monkeypatch.setenv("REPRO_NATIVE_THREAD_BACKEND", "none")
     assert native._effective_cflags() == native._CFLAGS
     assert "-O3" in native._CFLAGS
+    monkeypatch.setenv("REPRO_NATIVE_THREAD_BACKEND", "openmp")
+    assert native._effective_cflags() == native._CFLAGS + ["-fopenmp"]
 
 
 def test_sanitize_cflags_instrument_and_abort_on_error(monkeypatch):

@@ -1,0 +1,56 @@
+"""Unit tests for the noise-disciplined bench timer."""
+
+import pytest
+
+from repro.utils.bench import TimingStats, timed_median
+
+
+def test_counts_warmup_and_timed_calls_separately():
+    calls = []
+    stats = timed_median(lambda: calls.append(1), repeats=4, warmup=2)
+    assert len(calls) == 6
+    assert stats.repeats == 4
+    assert stats.warmup == 2
+    assert len(stats.samples) == 4
+
+
+def test_order_statistics_are_consistent():
+    stats = timed_median(lambda: None, repeats=7, warmup=0)
+    assert stats.best <= stats.median <= stats.worst
+    assert stats.iqr >= 0.0
+    assert stats.best == min(stats.samples)
+    assert stats.worst == max(stats.samples)
+
+
+def test_single_repeat_degenerates_cleanly():
+    stats = timed_median(lambda: None, repeats=1, warmup=0)
+    assert stats.median == stats.best == stats.worst == stats.samples[0]
+    assert stats.iqr == 0.0
+
+
+def test_to_dict_is_json_shaped():
+    record = timed_median(lambda: None, repeats=3).to_dict()
+    assert set(record) == {
+        "median_s",
+        "iqr_s",
+        "best_s",
+        "worst_s",
+        "repeats",
+        "warmup",
+        "samples_s",
+    }
+    assert record["repeats"] == 3
+    assert len(record["samples_s"]) == 3
+
+
+@pytest.mark.parametrize("kwargs", [dict(repeats=0), dict(warmup=-1)])
+def test_invalid_parameters_are_rejected(kwargs):
+    with pytest.raises(ValueError):
+        timed_median(lambda: None, **kwargs)
+
+
+def test_timing_stats_is_immutable():
+    stats = timed_median(lambda: None, repeats=2)
+    with pytest.raises(AttributeError):
+        stats.median = 0.0  # type: ignore[misc]
+    assert isinstance(stats, TimingStats)
