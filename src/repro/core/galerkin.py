@@ -34,6 +34,46 @@ from repro.utils.linalg import symmetric_generalized_eigh
 #: entries when the solver's numerical behavior changes.
 KLE_CACHE_SCHEMA = "kle-eigensolve-v1"
 
+#: Eigensolver methods :func:`solve_kle` accepts (see
+#: :func:`repro.utils.linalg.symmetric_generalized_eigh` for the first
+#: two; ``"randomized"`` routes through :mod:`repro.solvers`).
+KLE_METHODS = ("dense", "arpack", "randomized")
+
+#: Triangle count above which the centroid-rule assembly switches to the
+#: tiled fill: ``kernel.matrix`` allocates ~4 n × n temporaries (the
+#: point-difference array alone is two of them), which dominates peak
+#: memory well before the result matrix itself hurts.
+ASSEMBLY_TILE_THRESHOLD = 2048
+
+
+def _assemble_centroid_tiled(
+    kernel: CovarianceKernel,
+    centroids: np.ndarray,
+    areas: np.ndarray,
+    max_block_bytes: int,
+) -> np.ndarray:
+    """Fill ``K_ik = K(c_i, c_k) a_i a_k`` block-by-block.
+
+    Peak memory is the result matrix plus one row tile of kernel
+    temporaries (bounded by ``max_block_bytes``) — never the full
+    intermediate distance array the one-shot ``kernel.matrix`` path
+    allocates.
+    """
+    n = centroids.shape[0]
+    # A tile of t rows costs ~6 doubles per entry in kernel temporaries
+    # (difference pair, distance, value).
+    rows = max(1, min(n, int(max_block_bytes // (8 * n * 6))))
+    result = np.empty((n, n), dtype=float)
+    for start in range(0, n, rows):
+        stop = min(start + rows, n)
+        block = kernel(centroids[start:stop, None, :], centroids[None, :, :])
+        block *= areas[start:stop, None]
+        block *= areas[None, :]
+        result[start:stop] = block
+    result += result.T
+    result *= 0.5
+    return result
+
 
 def assemble_galerkin_matrix(
     kernel: CovarianceKernel,
@@ -41,6 +81,7 @@ def assemble_galerkin_matrix(
     *,
     rule: Union[str, TriangleRule] = CENTROID_RULE,
     max_block_bytes: int = 256 * 1024 * 1024,
+    tile_threshold: Optional[int] = None,
 ) -> np.ndarray:
     """Assemble the symmetric Galerkin matrix ``K`` of eq. (13).
 
@@ -49,6 +90,12 @@ def assemble_galerkin_matrix(
     double quadrature sum; the ``(nt*q) × (nt*q)`` kernel evaluation is
     blocked so peak memory stays under ``max_block_bytes``.
 
+    Above ``tile_threshold`` triangles (default
+    :data:`ASSEMBLY_TILE_THRESHOLD`) the centroid path fills the matrix
+    block-by-block so the kernel evaluation's O(n²) temporaries never
+    materialize alongside the result; below it the one-shot path is kept
+    bit-for-bit unchanged.
+
     Returns the dense ``(nt, nt)`` matrix, exactly symmetric.
     """
     if isinstance(rule, str):
@@ -56,10 +103,16 @@ def assemble_galerkin_matrix(
     num_triangles = mesh.num_triangles
     if num_triangles == 0:
         raise ValueError("cannot assemble a Galerkin matrix on an empty mesh")
+    if tile_threshold is None:
+        tile_threshold = ASSEMBLY_TILE_THRESHOLD
 
     if rule.num_points == 1:
         centroids = mesh.centroids
         areas = mesh.areas
+        if num_triangles > tile_threshold:
+            return _assemble_centroid_tiled(
+                kernel, centroids, areas, max_block_bytes
+            )
         # Scale rows and columns in place and symmetrize into the same
         # buffer: the kernel matrix is the only (nt, nt) allocation, vs.
         # four with ``outer`` + out-of-place symmetrization.
@@ -133,6 +186,9 @@ class GalerkinKLE:
         num_eigenpairs: Optional[int] = None,
         *,
         method: str = "dense",
+        oversampling: Optional[int] = None,
+        power_iterations: Optional[int] = None,
+        solver_seed: int = 0,
     ) -> KLEResult:
         """Solve ``K d = λ Φ d`` and package the leading eigenpairs.
 
@@ -143,11 +199,45 @@ class GalerkinKLE:
             paper computes the first 200 and then truncates to r = 25 via
             :meth:`repro.core.kle.KLEResult.select_truncation`.
         method:
-            ``"dense"`` (LAPACK, default) or ``"arpack"`` (iterative
-            Lanczos, leading pairs only — for meshes with tens of
-            thousands of triangles; equivalent to the Matlab ``eigs`` the
-            paper used).
+            ``"dense"`` (LAPACK, default), ``"arpack"`` (iterative
+            Lanczos, leading pairs only — equivalent to the Matlab
+            ``eigs`` the paper used), or ``"randomized"`` (matrix-free
+            sketched solve via :mod:`repro.solvers` — never assembles
+            the n × n matrix, the only path that scales to very fine
+            meshes).
+        oversampling, power_iterations, solver_seed:
+            Randomized-method knobs (ignored otherwise): extra sketch
+            columns, subspace-refinement rounds and the
+            :func:`repro.utils.rng.spawn_seed_sequences` root seed that
+            makes the solve deterministic.
         """
+        if method == "randomized":
+            from repro.solvers import (
+                DEFAULT_OVERSAMPLING,
+                DEFAULT_POWER_ITERATIONS,
+                solve_randomized_kle,
+            )
+
+            if num_eigenpairs is None:
+                raise ValueError(
+                    "method='randomized' requires an explicit num_eigenpairs"
+                )
+            result, _report = solve_randomized_kle(
+                self.kernel,
+                self.mesh,
+                int(num_eigenpairs),
+                rule=self.rule,
+                oversampling=(
+                    DEFAULT_OVERSAMPLING if oversampling is None
+                    else int(oversampling)
+                ),
+                power_iterations=(
+                    DEFAULT_POWER_ITERATIONS if power_iterations is None
+                    else int(power_iterations)
+                ),
+                seed=int(solver_seed),
+            )
+            return result
         eigenvalues, d_vectors = symmetric_generalized_eigh(
             self.galerkin_matrix,
             self.mesh.areas,
@@ -187,6 +277,9 @@ def kle_cache_key(
     num_eigenpairs: Optional[int] = None,
     rule: Union[str, TriangleRule] = CENTROID_RULE,
     method: str = "dense",
+    oversampling: Optional[int] = None,
+    power_iterations: Optional[int] = None,
+    solver_seed: Optional[int] = None,
 ) -> str:
     """Cache key of one eigensolve: (kernel, mesh, m, rule, method).
 
@@ -195,19 +288,34 @@ def kle_cache_key(
     through :func:`mesh_fingerprint`.  Kernels whose ``repr`` hides state
     (e.g. a :class:`~repro.core.kernels.NonstationaryVarianceKernel`'s
     ``sigma_fn``) should not be disk-cached; pass ``cache=None`` for those.
+
+    For ``method="randomized"`` the sketch parameters (oversampling,
+    power iterations, seed) are folded in as well: a randomized solve is
+    a pure function of those too, and two solves that could differ must
+    never share a key.  Keys of the deterministic methods are unchanged
+    by the extra arguments, so existing cache entries stay valid.
     """
     if isinstance(rule, str):
         rule = get_rule(rule)
     m = mesh.num_triangles if num_eigenpairs is None else int(num_eigenpairs)
-    fingerprint = "|".join(
-        [
-            f"kernel={kernel!r}",
-            f"mesh={mesh_fingerprint(mesh)}",
-            f"m={m}",
-            f"rule={rule.name}",
-            f"method={method}",
-        ]
-    )
+    parts = [
+        f"kernel={kernel!r}",
+        f"mesh={mesh_fingerprint(mesh)}",
+        f"m={m}",
+        f"rule={rule.name}",
+        f"method={method}",
+    ]
+    if method == "randomized":
+        from repro.solvers import DEFAULT_OVERSAMPLING, DEFAULT_POWER_ITERATIONS
+
+        p = DEFAULT_OVERSAMPLING if oversampling is None else int(oversampling)
+        q = (
+            DEFAULT_POWER_ITERATIONS if power_iterations is None
+            else int(power_iterations)
+        )
+        s = 0 if solver_seed is None else int(solver_seed)
+        parts.append(f"rand=o{p}_q{q}_s{s}")
+    fingerprint = "|".join(parts)
     digest = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
     return f"kle_{digest[:24]}_m{m}"
 
@@ -220,6 +328,9 @@ def solve_kle(
     rule: Union[str, TriangleRule] = CENTROID_RULE,
     method: str = "dense",
     cache: Union[ArtifactCache, str, None] = None,
+    oversampling: Optional[int] = None,
+    power_iterations: Optional[int] = None,
+    solver_seed: int = 0,
 ) -> KLEResult:
     """One-call convenience wrapper around :class:`GalerkinKLE`.
 
@@ -228,15 +339,32 @@ def solve_kle(
     memoized on disk keyed on :func:`kle_cache_key`, turning the dominant
     setup cost of every bench/experiment run into a warm-cache load.
     Corrupt or stale entries are quarantined and regenerated transparently.
+
+    ``method="randomized"`` routes through :mod:`repro.solvers`
+    (matrix-free, leading pairs only); its sketch parameters
+    (``oversampling``, ``power_iterations``, ``solver_seed``) are part
+    of the cache key, so warm hits return the bitwise-identical arrays
+    the cold solve produced.
     """
+    if method not in KLE_METHODS:
+        raise ValueError(
+            f"unknown KLE method {method!r}; expected one of {KLE_METHODS}"
+        )
     solver = GalerkinKLE(kernel, mesh, rule=rule)
     if cache is None:
-        return solver.solve(num_eigenpairs=num_eigenpairs, method=method)
+        return solver.solve(
+            num_eigenpairs=num_eigenpairs,
+            method=method,
+            oversampling=oversampling,
+            power_iterations=power_iterations,
+            solver_seed=solver_seed,
+        )
     if not isinstance(cache, ArtifactCache):
         cache = get_cache("kle", str(cache))
     key = kle_cache_key(
         kernel, mesh, num_eigenpairs=num_eigenpairs, rule=solver.rule,
-        method=method,
+        method=method, oversampling=oversampling,
+        power_iterations=power_iterations, solver_seed=solver_seed,
     )
     cached = cache.load(
         key,
@@ -253,7 +381,13 @@ def solve_kle(
             mesh=mesh,
             kernel=kernel,
         )
-    result = solver.solve(num_eigenpairs=num_eigenpairs, method=method)
+    result = solver.solve(
+        num_eigenpairs=num_eigenpairs,
+        method=method,
+        oversampling=oversampling,
+        power_iterations=power_iterations,
+        solver_seed=solver_seed,
+    )
     cache.store(
         key,
         {"eigenvalues": result.eigenvalues, "d_vectors": result.d_vectors},

@@ -38,6 +38,12 @@ from repro.core.kernels import CovarianceKernel
 from repro.core.kle import KLEResult
 from repro.mesh.mesh import TriangleMesh
 from repro.timing.library import STATISTICAL_PARAMETERS
+from repro.utils.artifact_cache import ArtifactCache
+
+#: Triangle count above which :class:`MeshKLEHierarchy`'s ``"auto"``
+#: solver selection switches a level from the dense eigensolver to the
+#: matrix-free randomized one (:mod:`repro.solvers`).
+RANDOMIZED_LEVEL_THRESHOLD = 4096
 
 #: Evaluation modes a level model may request from the estimator.
 LEVEL_TIMERS = ("sta", "linear")
@@ -198,6 +204,13 @@ class MeshKLEHierarchy(LevelHierarchy):
     truncation rank is held (up to availability) at ``rank``.  Eigensolves
     go through :func:`repro.core.galerkin.solve_kle` and therefore hit the
     same disk cache the experiments use.
+
+    ``solver_method`` picks the per-level eigensolver: a method name from
+    :data:`repro.core.galerkin.KLE_METHODS` applies to every level, while
+    ``"auto"`` (the default) solves coarse levels densely and switches to
+    the matrix-free randomized solver above ``randomized_threshold``
+    triangles — exactly the regime where dense assembly stops fitting.
+    The per-level choices are recorded in :attr:`solver_methods`.
     """
 
     def __init__(
@@ -208,9 +221,24 @@ class MeshKLEHierarchy(LevelHierarchy):
         rank: int = 25,
         num_eigenpairs: Optional[int] = None,
         cache: Union[ArtifactCache, str, None] = None,
+        solver_method: str = "auto",
+        randomized_threshold: int = RANDOMIZED_LEVEL_THRESHOLD,
+        oversampling: Optional[int] = None,
+        power_iterations: Optional[int] = None,
+        solver_seed: int = 0,
     ):
-        from repro.core.galerkin import solve_kle
+        from repro.core.galerkin import KLE_METHODS, solve_kle
 
+        if solver_method != "auto" and solver_method not in KLE_METHODS:
+            raise ValueError(
+                f"solver_method must be 'auto' or one of {KLE_METHODS}, "
+                f"got {solver_method!r}"
+            )
+        if randomized_threshold < 0:
+            raise ValueError(
+                f"randomized_threshold must be >= 0, "
+                f"got {randomized_threshold}"
+            )
         meshes = list(meshes)
         if not meshes:
             raise ValueError("need at least one mesh")
@@ -233,18 +261,34 @@ class MeshKLEHierarchy(LevelHierarchy):
             raise ValueError(f"rank must be >= 1, got {rank}")
 
         models: List[LevelModel] = []
+        methods: List[str] = []
         for mesh in meshes:
             pairs = min(
                 num_eigenpairs if num_eigenpairs else max(4 * rank, 32),
                 mesh.num_triangles,
             )
+            if solver_method == "auto":
+                method = (
+                    "randomized"
+                    if mesh.num_triangles > randomized_threshold
+                    else "dense"
+                )
+            else:
+                method = solver_method
             solved: Dict[str, KLEResult] = {}
             by_kernel: Dict[int, KLEResult] = {}
             for name, kern in kernels.items():
                 key = id(kern)
                 if key not in by_kernel:
                     by_kernel[key] = solve_kle(
-                        kern, mesh, num_eigenpairs=pairs, cache=cache
+                        kern,
+                        mesh,
+                        num_eigenpairs=pairs,
+                        cache=cache,
+                        method=method,
+                        oversampling=oversampling,
+                        power_iterations=power_iterations,
+                        solver_seed=solver_seed,
                     )
                 solved[name] = by_kernel[key]
             level_ranks = {
@@ -259,7 +303,10 @@ class MeshKLEHierarchy(LevelHierarchy):
                     parameter=float(mesh.num_triangles),
                 )
             )
+            methods.append(method)
         super().__init__(models)
+        #: Eigensolver method actually used at each level, coarsest first.
+        self.solver_methods: Tuple[str, ...] = tuple(methods)
 
 
 class SurrogateKLEHierarchy(LevelHierarchy):

@@ -172,6 +172,8 @@ class ArtifactRegistry:
                     mesh,
                     num_eigenpairs=self.config.num_eigenpairs,
                     cache=self._kle_cache(),
+                    method=self.config.kle_method,
+                    solver_seed=self.config.kle_solver_seed,
                 )
             except Exception as exc:
                 # Graceful degradation is the service contract: any warm
@@ -186,6 +188,8 @@ class ArtifactRegistry:
                         mesh,
                         num_eigenpairs=self.config.num_eigenpairs,
                         cache=None,
+                        method=self.config.kle_method,
+                        solver_seed=self.config.kle_solver_seed,
                     )
                 except Exception as cold_exc:
                     # Terminal: surface a typed error; the caller fails
@@ -295,21 +299,28 @@ class ArtifactRegistry:
             return 1
 
     def resident_bytes(self) -> int:
-        """Bytes held by the resident compiled timing programs.
+        """Bytes held by the resident analysis artifacts.
 
-        Counts each program's arenas plus the per-thread native scratch
-        its sweeps allocate at the configured kernel thread count — the
-        high-water footprint a saturated request leaves resident.
+        Counts each compiled timing program's arenas plus the per-thread
+        native scratch its sweeps allocate at the configured kernel
+        thread count, and the eigenpair arrays of every resident KLE
+        solve — the high-water footprint a saturated request leaves
+        resident.  The KLE term is what the randomized-solver path keeps
+        bounded on fine meshes (O(n·m) instead of the dense path's O(n²)
+        transient).
         """
         threads = self.kernel_threads()
         with self._lock:
             harnesses = list(self._harnesses.values())
+            kles = list(self._kles.values())
         total = 0
         for harness in harnesses:
             program = harness.engine._program
             if program is not None:
                 total += program.resident_bytes()
                 total += program.native_scratch_bytes(threads)
+        for kle in kles:
+            total += int(kle.eigenvalues.nbytes + kle.d_vectors.nbytes)
         return total
 
     def stats(self) -> Dict[str, object]:
@@ -329,5 +340,6 @@ class ArtifactRegistry:
             "resident": dict(counts),
             "resident_bytes": self.resident_bytes(),
             "kernel_threads": self.kernel_threads(),
+            "kle_method": self.config.kle_method,
             "quarantined": quarantined,
         }

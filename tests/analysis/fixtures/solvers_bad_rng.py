@@ -1,0 +1,20 @@
+"""Unseeded range-finder RNG fixture: what REPRO-RNG002 must flag.
+
+An entropy-seeded sketch makes the randomized eigensolve irreproducible
+— no cache key could describe it — so both unseeded spellings here must
+each produce one REPRO-RNG002 finding.
+"""
+
+import numpy as np
+
+
+def sketch(n: int, columns: int) -> np.ndarray:
+    """Draw a fresh-entropy Gaussian test matrix (forbidden in library code)."""
+    rng = np.random.default_rng()
+    return rng.standard_normal((n, columns))
+
+
+def sketch_explicit_none(n: int, columns: int) -> np.ndarray:
+    """The explicit-None spelling is just as unreproducible."""
+    rng = np.random.default_rng(None)
+    return rng.standard_normal((n, columns))

@@ -1,0 +1,17 @@
+"""Seeded range-finder RNG fixture: the sanctioned repro.solvers shape.
+
+The Gaussian sketch's generator is derived from an explicit root seed
+through ``spawn_seed_sequences`` — the exact pattern
+``repro.solvers.randomized`` uses — so REPRO-RNG002 must stay silent.
+"""
+
+import numpy as np
+
+from repro.utils.rng import spawn_seed_sequences
+
+
+def sketch(n: int, columns: int, seed: int) -> np.ndarray:
+    """Draw a deterministic Gaussian test matrix for a range finder."""
+    (child,) = spawn_seed_sequences(int(seed), 1)
+    rng = np.random.default_rng(child)
+    return rng.standard_normal((n, columns))

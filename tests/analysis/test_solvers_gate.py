@@ -1,0 +1,49 @@
+"""The analysis gate applied to the randomized-eigensolver subsystem.
+
+``repro.solvers`` is the library's one deliberately stochastic numerical
+subsystem, so it gets the same standalone gate treatment as the service
+layer — file-level clean, clean under the full project gate with no
+other module's context to lean on — plus a pinned REPRO-RNG002 contract:
+the range finder's generator must be derived from an explicit seed
+(through ``spawn_seed_sequences``), and the unseeded spelling of the
+same sketch code must actually fire the rule.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import analyze_paths, analyze_project_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_REPRO = Path(repro.__file__).resolve().parent
+SOLVERS_DIR = SRC_REPRO / "solvers"
+
+
+def test_solvers_package_is_file_level_clean():
+    found = analyze_paths([SOLVERS_DIR])
+    rendered = "\n".join(v.format() for v in found)
+    assert not found, f"repro-lint violations in repro.solvers:\n{rendered}"
+
+
+def test_solvers_package_passes_the_project_gate_standalone():
+    # The solver files must hold up even when analyzed as their own
+    # project scope (no other module's context to lean on).
+    report = analyze_project_paths([SOLVERS_DIR])
+    rendered = "\n".join(v.format() for v in report.violations)
+    assert not report.violations, f"gate violations:\n{rendered}"
+    assert not report.has_syntax_errors
+
+
+def test_seeded_range_finder_fixture_is_rng_clean():
+    found = analyze_paths(
+        [FIXTURES / "solvers_good_rng.py"], select=["REPRO-RNG002"]
+    )
+    rendered = "\n".join(v.format() for v in found)
+    assert not found, f"seeded sketch flagged:\n{rendered}"
+
+
+def test_unseeded_range_finder_fixture_fires_rng002():
+    found = analyze_paths(
+        [FIXTURES / "solvers_bad_rng.py"], select=["REPRO-RNG002"]
+    )
+    assert [v.rule_id for v in found] == ["REPRO-RNG002"] * 2

@@ -187,3 +187,26 @@ def test_arpack_solver_matches_dense(gaussian_kle):
     assert np.allclose(
         arpack.eigenvalues, gaussian_kle.eigenvalues[:12], rtol=1e-8
     )
+
+
+def test_tiled_centroid_assembly_matches_one_shot():
+    """Above the tile threshold the block fill must equal the one-shot path.
+
+    Entries are pure elementwise evaluations in both paths, so even with
+    a tiny block budget the tiled matrix is bitwise identical.
+    """
+    mesh = structured_rectangle_mesh(*DIE, 8, 8)
+    kernel = GaussianKernel(2.0)
+    one_shot = assemble_galerkin_matrix(kernel, mesh, tile_threshold=1 << 30)
+    tiled = assemble_galerkin_matrix(
+        kernel, mesh, tile_threshold=0, max_block_bytes=4096
+    )
+    assert np.array_equal(tiled, one_shot)
+    assert np.array_equal(tiled, tiled.T)
+
+
+def test_tile_threshold_default_keeps_small_meshes_on_one_shot_path():
+    """The default threshold must not reroute the paper-scale meshes."""
+    from repro.core.galerkin import ASSEMBLY_TILE_THRESHOLD
+
+    assert ASSEMBLY_TILE_THRESHOLD >= 2000  # paper mesh is n = 1546

@@ -84,6 +84,46 @@ class TestMeshKLEHierarchy:
         with pytest.raises(ValueError, match="coarse-to-fine"):
             MeshKLEHierarchy(gaussian_kernel, [fine, coarse], rank=8)
 
+    def test_auto_solver_selection_switches_at_threshold(self, gaussian_kernel):
+        coarse = structured_rectangle_mesh(*DIE, 4, 4)  # 32 triangles
+        fine = structured_rectangle_mesh(*DIE, 8, 8)  # 128 triangles
+        hierarchy = MeshKLEHierarchy(
+            gaussian_kernel,
+            [coarse, fine],
+            rank=8,
+            num_eigenpairs=16,
+            randomized_threshold=64,
+        )
+        assert hierarchy.solver_methods == ("dense", "randomized")
+        # The default threshold keeps small ladders fully dense.
+        dense_ladder = MeshKLEHierarchy(
+            gaussian_kernel, [coarse, fine], rank=8, num_eigenpairs=16
+        )
+        assert dense_ladder.solver_methods == ("dense", "dense")
+
+    def test_explicit_solver_method_applies_to_every_level(
+        self, gaussian_kernel
+    ):
+        coarse = structured_rectangle_mesh(*DIE, 4, 4)
+        fine = structured_rectangle_mesh(*DIE, 8, 8)
+        hierarchy = MeshKLEHierarchy(
+            gaussian_kernel,
+            [coarse, fine],
+            rank=8,
+            num_eigenpairs=16,
+            solver_method="randomized",
+            solver_seed=3,
+        )
+        assert hierarchy.solver_methods == ("randomized", "randomized")
+        with pytest.raises(ValueError, match="solver_method"):
+            MeshKLEHierarchy(
+                gaussian_kernel, [coarse], rank=8, solver_method="nope"
+            )
+        with pytest.raises(ValueError, match="randomized_threshold"):
+            MeshKLEHierarchy(
+                gaussian_kernel, [coarse], rank=8, randomized_threshold=-1
+            )
+
 
 class TestSurrogateKLEHierarchy:
     def test_two_levels_with_linear_base(self, gaussian_kle):

@@ -64,6 +64,8 @@ class TestRequestValidation:
             dict(max_batch_requests=0),
             dict(stream_buffer_chunks=0),
             dict(kernel_threads=0),
+            dict(kle_method="no-such-solver"),
+            dict(kle_solver_seed=-1),
         ],
     )
     def test_malformed_configs_are_rejected(self, kwargs):
@@ -221,12 +223,39 @@ class TestResidency:
             assert stats["kernel_threads"] == 2
             # resident_bytes must account the per-thread native scratch a
             # sweep allocates at the pinned lane count, on top of the
-            # program's arenas.
+            # program's arenas and the resident KLE eigenpair arrays.
             program = harness.engine.program
+            kle = next(iter(harness.kles.values()))
             assert stats["resident_bytes"] == (
-                program.resident_bytes() + program.native_scratch_bytes(2)
+                program.resident_bytes()
+                + program.native_scratch_bytes(2)
+                + kle.eigenvalues.nbytes
+                + kle.d_vectors.nbytes
             )
             assert program.native_scratch_bytes(2) > 0
+
+    def test_randomized_kle_method_reaches_residency(self):
+        import numpy as np
+
+        from repro.service import ArtifactRegistry
+        from repro.solvers import solve_randomized_kle
+
+        config = tiny_config(kle_method="randomized", kle_solver_seed=7)
+        registry = ArtifactRegistry(config)
+        resident = registry.kle("gaussian")
+        expected, _ = solve_randomized_kle(
+            config.kernels["gaussian"],
+            registry.mesh(),
+            config.num_eigenpairs,
+            seed=7,
+        )
+        np.testing.assert_array_equal(resident.eigenvalues, expected.eigenvalues)
+        np.testing.assert_array_equal(resident.d_vectors, expected.d_vectors)
+        stats = registry.stats()
+        assert stats["kle_method"] == "randomized"
+        assert stats["resident_bytes"] >= (
+            resident.eigenvalues.nbytes + resident.d_vectors.nbytes
+        )
 
     def test_same_key_requests_reuse_one_resident_harness(self):
         service = SSTAService(tiny_config())

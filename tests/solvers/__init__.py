@@ -1,0 +1,1 @@
+"""Tests for the matrix-free randomized KLE eigensolver subsystem."""

@@ -1,0 +1,116 @@
+"""KernelOperator contract: tiled == dense == assembled matrix.
+
+The tiled operator is the load-bearing abstraction of the randomized
+path — it must apply exactly the matrix `assemble_galerkin_matrix`
+builds, for every quadrature rule, bitwise independently of the tile
+size, while reporting honest working-set estimates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.galerkin import assemble_galerkin_matrix
+from repro.core.kernels import GaussianKernel
+from repro.mesh.structured import structured_rectangle_mesh
+from repro.solvers import (
+    DENSE_OPERATOR_THRESHOLD,
+    DenseKernelOperator,
+    TiledKernelOperator,
+    dense_solve_bytes,
+    make_kernel_operator,
+)
+
+KERNEL = GaussianKernel(c=1.4)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return structured_rectangle_mesh(-1.0, -1.0, 1.0, 1.0, 8, 8)
+
+
+@pytest.fixture(scope="module")
+def operand(mesh):
+    rng = np.random.default_rng(42)
+    return rng.standard_normal((mesh.num_triangles, 5))
+
+
+@pytest.mark.parametrize("rule", ["centroid", "three_point"])
+def test_tiled_matmat_matches_assembled_matrix(mesh, operand, rule):
+    matrix = assemble_galerkin_matrix(KERNEL, mesh, rule=rule)
+    tiled = TiledKernelOperator(KERNEL, mesh, rule=rule, max_tile_bytes=8192)
+    np.testing.assert_allclose(
+        tiled.matmat(operand), matrix @ operand, rtol=0, atol=1e-13
+    )
+
+
+def test_dense_operator_matches_assembled_matrix(mesh, operand):
+    matrix = assemble_galerkin_matrix(KERNEL, mesh)
+    dense = DenseKernelOperator(KERNEL, mesh)
+    np.testing.assert_array_equal(dense.matmat(operand), matrix @ operand)
+
+
+def test_matmat_is_deterministic_per_tile_budget(mesh, operand):
+    op = TiledKernelOperator(KERNEL, mesh, max_tile_bytes=8192)
+    np.testing.assert_array_equal(op.matmat(operand), op.matmat(operand))
+
+
+def test_tile_budgets_agree_to_rounding(mesh, operand):
+    tiny = TiledKernelOperator(KERNEL, mesh, max_tile_bytes=1)
+    huge = TiledKernelOperator(KERNEL, mesh, max_tile_bytes=1 << 30)
+    assert tiny.tile_rows == 1
+    assert huge.tile_rows == mesh.num_triangles
+    np.testing.assert_allclose(
+        tiny.matmat(operand), huge.matmat(operand), rtol=1e-12, atol=1e-15
+    )
+
+
+def test_matvec_is_the_single_column_matmat(mesh, operand):
+    op = TiledKernelOperator(KERNEL, mesh, max_tile_bytes=4096)
+    np.testing.assert_array_equal(
+        op.matvec(operand[:, 0]), op.matmat(operand[:, :1])[:, 0]
+    )
+    with pytest.raises(ValueError, match="1-D"):
+        op.matvec(operand)
+
+
+def test_factory_picks_by_triangle_count(mesh):
+    assert isinstance(
+        make_kernel_operator(KERNEL, mesh), DenseKernelOperator
+    )
+    forced = make_kernel_operator(KERNEL, mesh, dense_threshold=0)
+    assert isinstance(forced, TiledKernelOperator)
+    assert mesh.num_triangles < DENSE_OPERATOR_THRESHOLD
+    with pytest.raises(ValueError, match="dense_threshold"):
+        make_kernel_operator(KERNEL, mesh, dense_threshold=-1)
+
+
+def test_peak_bytes_estimates_are_sane(mesh):
+    n = mesh.num_triangles
+    tiled = TiledKernelOperator(KERNEL, mesh, max_tile_bytes=8192)
+    dense = DenseKernelOperator(KERNEL, mesh)
+    assert 0 < tiled.peak_bytes(8) < dense.peak_bytes(8)
+    assert dense.peak_bytes(8) >= 8 * n * n
+    # Bounded tiles: doubling the vector block must not scale the tile
+    # term, only the vector term.
+    assert tiled.peak_bytes(16) - tiled.peak_bytes(8) == 8 * 8 * (2 * n + n)
+    with pytest.raises(ValueError, match="num_vectors"):
+        tiled.peak_bytes(0)
+    with pytest.raises(ValueError, match="num_vectors"):
+        dense.peak_bytes(0)
+
+
+def test_operand_shape_is_validated(mesh):
+    op = TiledKernelOperator(KERNEL, mesh)
+    with pytest.raises(ValueError, match="operand"):
+        op.matmat(np.zeros((3, 2)))
+
+
+def test_tile_budget_is_validated(mesh):
+    with pytest.raises(ValueError, match="max_tile_bytes"):
+        TiledKernelOperator(KERNEL, mesh, max_tile_bytes=0)
+
+
+def test_dense_solve_bytes_counts_three_square_matrices():
+    assert dense_solve_bytes(1000) == 3 * 1000 * 1000 * 8
+    with pytest.raises(ValueError, match="num_triangles"):
+        dense_solve_bytes(0)

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.mlmc",
     "repro.experiments",
     "repro.service",
+    "repro.solvers",
     "repro.utils",
     "repro.viz",
 ]
