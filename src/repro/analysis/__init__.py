@@ -6,7 +6,11 @@ Three cooperating pieces:
   (registry, per-file visitor dispatch, ``# repro-lint:`` suppressions);
 - :mod:`repro.analysis.rules` — the project rules enforcing RNG
   discipline, cache immutability, float-comparison hygiene, exception
-  hygiene, cache-key purity and the strict-typing gate;
+  hygiene, cache-key purity and the strict-typing gate, backed by the
+  whole-program determinism provers (:mod:`repro.analysis.seedflow`
+  seed-flow taint, :mod:`repro.analysis.cachekey` cache-key
+  completeness, :mod:`repro.analysis.locks` lock discipline, plus the
+  earlier dataflow/concurrency passes);
 - :mod:`repro.analysis.cabi` — the C-ABI cross-checker that parses the
   exported prototypes in ``repro/timing/sta_kernel.c`` and verifies the
   ctypes ``argtypes``/``restype`` declaration in
@@ -52,12 +56,24 @@ from repro.analysis.engine import (
 )
 
 # Importing the rules module registers every per-file project rule;
-# importing dataflow/concurrency registers the whole-program check ids.
+# importing dataflow/concurrency/seedflow/cachekey/locks registers the
+# whole-program check ids.
 from repro.analysis import rules as rules  # noqa: F401
+from repro.analysis.cachekey import KEY_RULE_ID, check_cache_keys
 from repro.analysis.concurrency import (
     GLOBAL_RULE_ID,
     RNG_RULE_ID,
     check_concurrency,
+)
+from repro.analysis.locks import (
+    GUARD_RULE_ID,
+    ORDER_RULE_ID,
+    check_lock_discipline,
+)
+from repro.analysis.seedflow import (
+    SEED_FORK_RULE_ID,
+    SEED_SOURCE_RULE_ID,
+    check_seed_flow,
 )
 from repro.analysis.dataflow import (
     ArrayFact,
@@ -90,15 +106,20 @@ __all__ = [
     "FunctionInfo",
     "FunctionSummary",
     "GLOBAL_RULE_ID",
+    "GUARD_RULE_ID",
     "GateReport",
+    "KEY_RULE_ID",
     "LINT_RULE_ID",
     "ModuleInfo",
     "NATIVE_RULE_ID",
     "NativeBoundaryChecker",
+    "ORDER_RULE_ID",
     "ProjectModel",
     "RNG_RULE_ID",
     "Resolver",
     "Rule",
+    "SEED_FORK_RULE_ID",
+    "SEED_SOURCE_RULE_ID",
     "SYNTAX_ERROR_RULE_ID",
     "UnsupportedDeclarationError",
     "Violation",
@@ -109,9 +130,12 @@ __all__ = [
     "analyze_source",
     "analyze_source_report",
     "check_c_abi",
+    "check_cache_keys",
     "check_concurrency",
     "check_function",
+    "check_lock_discipline",
     "check_native_boundary",
+    "check_seed_flow",
     "ctype_for",
     "describe_ctype",
     "format_human",

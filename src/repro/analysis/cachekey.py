@@ -1,0 +1,340 @@
+"""Cache-key completeness analysis (REPRO-KEY001).
+
+The artifact cache turns every eigensolve and kernel build into a pure
+function *of its key*: two runs that could produce different arrays must
+never share one.  The key-construction helpers (``kle_cache_key``,
+``_build_key``) therefore have to fold in **every** parameter that flows
+into the cached computation — PR 8 had to hand-prove exactly this for
+``solver_seed``/``oversampling`` when the randomized solver joined the
+cache.  This pass mechanizes that proof at every caching site:
+
+- ``cache.get_or_create(key, factory)`` and ``cache.store(key, value)``
+  calls (any ``get_or_create`` receiver; ``store`` receivers that look
+  cache-like), plus the module-global memo idiom
+  ``_cached, _cached_key = value, key``;
+- for each site, the set of enclosing-function parameters that reach
+  the cached value (through local assignments, call arguments and
+  factory closures) is diffed against the set reaching the key
+  expression; a parameter that affects the artifact but not the key is
+  a stale-cache bug — the cache would happily serve results computed
+  under different settings.
+
+Deliberate scope limits (documented, not accidental): a site whose key
+is a single bare parameter is key-agnostic plumbing (the cache layer
+itself) and is skipped; a site whose key and value share *no*
+parameters is a pass-through writer storing a payload computed by its
+caller (e.g. ``_store_cached_placement``) — its completeness is a
+property of the call sites, not of the writer, so it is inventoried
+but not judged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import Violation, register_project_check
+from repro.analysis.project import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    Resolver,
+    _dotted_name,
+)
+
+__all__ = [
+    "KEY_RULE_ID",
+    "check_cache_keys",
+    "key_sites",
+]
+
+KEY_RULE_ID = "REPRO-KEY001"
+
+_TITLE = "cache key omits a parameter that shapes the cached value"
+_RATIONALE = """A cached artifact must be a pure function of its key: if a
+parameter flows into the cached computation but not into the key, two
+runs with different settings share an entry and the second silently
+reads results computed under the first's settings (the stale-cache bug
+class solver_seed/oversampling almost shipped).  Fold every
+value-shaping parameter into the key, or derive the value from the key
+alone."""
+_EXAMPLE = """key = build_key(circuit, rank)            # tolerance missing
+cache.store(key, expensive(circuit, rank, tolerance))"""
+
+register_project_check(KEY_RULE_ID, _TITLE, _RATIONALE, example=_EXAMPLE)
+
+#: Receiver spellings accepted for bare ``.store(...)`` calls (the
+#: method name alone is too generic to claim).
+_CACHE_TOKEN = "cache"
+
+#: Parameters that never count as "missing" — the instance itself.
+_IMPLICIT_PARAMS = frozenset({"self", "cls"})
+
+
+def _is_cache_receiver(expr: ast.expr, cache_locals: Set[str]) -> bool:
+    dotted = _dotted_name(expr)
+    if dotted is not None:
+        if _CACHE_TOKEN in dotted.lower():
+            return True
+        head = dotted.partition(".")[0]
+        if head in cache_locals:
+            return True
+    return False
+
+
+class _KeyScanner:
+    """Parameter-provenance analysis of one function's caching sites."""
+
+    def __init__(
+        self,
+        model: ProjectModel,
+        resolver: Resolver,
+        module: ModuleInfo,
+        info: FunctionInfo,
+    ):
+        self.model = model
+        self.resolver = resolver
+        self.module = module
+        self.info = info
+        self.violations: List[Violation] = []
+        self.sites: List[Tuple[str, int]] = []
+        #: name → parameters it (transitively) derives from.
+        self._env: Dict[str, FrozenSet[str]] = {
+            name: frozenset({name}) for name in info.params
+        }
+        #: nested function definitions usable as factories.
+        self._nested: Dict[str, ast.AST] = {}
+        #: locals bound to cache-constructing calls (``get_cache(...)``).
+        self._cache_locals: Set[str] = set()
+        self._global_decls: Set[str] = set()
+        self._prepare()
+
+    # -- provenance pre-pass -------------------------------------------
+    def _prepare(self) -> None:
+        assignments: List[Tuple[List[ast.expr], ast.expr]] = []
+        for node in ast.walk(self.info.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not self.info.node:
+                    self._nested.setdefault(node.name, node)
+            elif isinstance(node, ast.Lambda):
+                continue
+            elif isinstance(node, ast.Global):
+                self._global_decls.update(node.names)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                if node.value is None:
+                    continue
+                assignments.append((list(targets), node.value))
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    leaf = _dotted_name(node.value.func) or ""
+                    if _CACHE_TOKEN in leaf.rpartition(".")[2].lower():
+                        self._cache_locals.add(node.targets[0].id)
+            elif isinstance(node, ast.NamedExpr):
+                if isinstance(node.target, ast.Name):
+                    assignments.append(([node.target], node.value))
+
+        changed = True
+        while changed:
+            changed = False
+            for targets, value in assignments:
+                prov = self._prov(value)
+                if not prov:
+                    continue
+                for target in targets:
+                    for name_node in ast.walk(target):
+                        if not isinstance(name_node, ast.Name):
+                            continue
+                        current = self._env.get(name_node.id, frozenset())
+                        merged = current | prov
+                        if merged != current:
+                            self._env[name_node.id] = merged
+                            changed = True
+
+    def _prov(self, expr: ast.expr) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                out |= self._env.get(node.id, frozenset())
+        return frozenset(out)
+
+    def _factory_prov(self, expr: ast.expr) -> FrozenSet[str]:
+        """Provenance of a factory argument: closures count as their
+        free variables."""
+        if isinstance(expr, ast.Lambda):
+            bound = {a.arg for a in expr.args.args + expr.args.kwonlyargs}
+            return frozenset(
+                name for name in self._prov(expr.body) if name not in bound
+            )
+        if isinstance(expr, ast.Name) and expr.id in self._nested:
+            node = self._nested[expr.id]
+            bound = set()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                bound = {
+                    a.arg
+                    for a in args.posonlyargs + args.args + args.kwonlyargs
+                }
+            out: Set[str] = set()
+            for child in ast.walk(node):
+                if isinstance(child, ast.Name) and isinstance(
+                    child.ctx, ast.Load
+                ):
+                    if child.id not in bound:
+                        out |= self._env.get(child.id, frozenset())
+            return frozenset(out)
+        return self._prov(expr)
+
+    # -- site discovery -------------------------------------------------
+    def run(self) -> None:
+        for node in ast.walk(self.info.node):
+            if isinstance(node, ast.Call):
+                self._check_call(node)
+            elif isinstance(node, ast.Assign):
+                self._check_memo_assign(node)
+
+    def _check_call(self, call: ast.Call) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr == "get_or_create":
+            if len(call.args) >= 2:
+                self._judge_site(call, call.args[0], call.args[1], factory=True)
+        elif func.attr == "store":
+            if len(call.args) >= 2 and (
+                _is_cache_receiver(func.value, self._cache_locals)
+                or self._self_is_cache(func.value)
+            ):
+                self._judge_site(call, call.args[0], call.args[1], factory=False)
+
+    def _self_is_cache(self, receiver: ast.expr) -> bool:
+        if not (isinstance(receiver, ast.Name) and receiver.id == "self"):
+            return False
+        klass = self.info.class_qualname or ""
+        return _CACHE_TOKEN in klass.rpartition(".")[2].lower()
+
+    def _check_memo_assign(self, node: ast.Assign) -> None:
+        """``_cached, _cached_key = value, key`` module-memo sites."""
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Tuple):
+            return
+        target = node.targets[0]
+        if not isinstance(node.value, ast.Tuple):
+            return
+        if len(target.elts) != 2 or len(node.value.elts) != 2:
+            return
+        names = [
+            element.id if isinstance(element, ast.Name) else None
+            for element in target.elts
+        ]
+        if None in names:
+            return
+        key_slot = next(
+            (
+                index
+                for index, name in enumerate(names)
+                if name is not None and "key" in name.lower()
+            ),
+            None,
+        )
+        if key_slot is None:
+            return
+        globals_only = all(
+            name in self._global_decls or name in self.module.module_assigns
+            for name in names
+            if name is not None
+        )
+        if not globals_only:
+            return
+        key_expr = node.value.elts[key_slot]
+        value_expr = node.value.elts[1 - key_slot]
+        self._judge_site(node, key_expr, value_expr, factory=False)
+
+    # -- judgement ------------------------------------------------------
+    def _judge_site(
+        self,
+        node: ast.AST,
+        key_expr: ast.expr,
+        value_expr: ast.expr,
+        *,
+        factory: bool,
+    ) -> None:
+        line = getattr(node, "lineno", 1)
+        self.sites.append((self.module.path, line))
+        # Key-agnostic plumbing: the cache layer itself receives the key
+        # as a parameter and cannot judge its completeness.
+        if (
+            isinstance(key_expr, ast.Name)
+            and self.info.param_index(key_expr.id) is not None
+        ):
+            return
+        key_params = self._prov(key_expr) - _IMPLICIT_PARAMS
+        value_params = (
+            self._factory_prov(value_expr)
+            if factory
+            else self._prov(value_expr)
+        ) - _IMPLICIT_PARAMS
+        missing = value_params - key_params
+        if not missing:
+            return
+        # Pass-through writers (key and value share no parameters) store
+        # payloads their callers computed; judged at the call sites.
+        if not (key_params & value_params):
+            return
+        listed = ", ".join(sorted(missing))
+        self.violations.append(
+            Violation(
+                path=self.module.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                rule_id=KEY_RULE_ID,
+                message=(
+                    f"cached value depends on parameter(s) {listed} that "
+                    f"the cache key never folds in; entries computed under "
+                    f"different {listed} would share a key and serve stale "
+                    f"results — add them to the key construction"
+                ),
+            )
+        )
+
+
+def _scan(model: ProjectModel) -> List[_KeyScanner]:
+    scanners: List[_KeyScanner] = []
+    for info in model.iter_functions():
+        module = model.module_of(info)
+        scanner = _KeyScanner(model, Resolver(model, module), module, info)
+        scanner.run()
+        scanners.append(scanner)
+    return scanners
+
+
+def check_cache_keys(model: ProjectModel) -> List[Violation]:
+    """Run REPRO-KEY001 over a project model."""
+    violations: List[Violation] = []
+    seen: Set[Tuple[str, int, int]] = set()
+    for scanner in _scan(model):
+        for violation in scanner.violations:
+            key = (violation.path, violation.line, violation.col)
+            if key in seen:
+                continue
+            seen.add(key)
+            violations.append(violation)
+    return sorted(violations)
+
+
+def key_sites(model: ProjectModel) -> List[Tuple[str, int]]:
+    """Every caching site the pass inspected (judged or inventoried).
+
+    Exposed for the live-tree scope test: an analyzer that silently
+    stops seeing a package would look identical to a clean run without
+    this inventory.
+    """
+    sites: Set[Tuple[str, int]] = set()
+    for scanner in _scan(model):
+        sites.update(scanner.sites)
+    return sorted(sites)

@@ -1,8 +1,9 @@
 """``python -m repro.analysis`` — the repo's static-analysis gate.
 
 Runs the per-file lint rules *and* the whole-program analyses (project
-model + array-contract dataflow + concurrency safety + stale
-suppressions) over the given paths (default: ``src/repro``) and, unless
+model + array-contract dataflow + concurrency safety + seed-flow taint
++ cache-key completeness + lock discipline + stale suppressions) over
+the given paths (default: ``src/repro``) and, unless
 ``--no-cabi`` is passed, cross-checks the native kernel's C ABI against
 its ctypes declaration.  Exit status:
 
@@ -28,7 +29,7 @@ from repro.analysis.engine import Violation, rule_catalog
 from repro.analysis.gate import analyze_project_paths
 from repro.analysis.reporters import format_human, format_json
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "explain_rule", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE-ID",
+        help=(
+            "print one rule's full contract (title, rationale, example) "
+            "and exit; unknown ids exit 2"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -87,6 +96,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def explain_rule(rule_id: str) -> int:
+    """Print one rule's contract — title, rationale, violating example —
+    and return the exit code (0, or 2 for ids not in the catalog)."""
+    wanted = rule_id.strip()
+    for entry in rule_catalog():
+        if entry["id"] != wanted:
+            continue
+        print(f"{entry['id']}: {entry['title']}")
+        print()
+        for line in entry["rationale"].splitlines():
+            print(f"  {line}")
+        example = entry.get("example", "")
+        if example:
+            print()
+            print("  example (violates this rule):")
+            for line in example.splitlines():
+                print(f"    {line}")
+        return 0
+    known = ", ".join(sorted(e["id"] for e in rule_catalog()))
+    print(
+        f"repro-lint: error: unknown rule id {wanted!r}; known: {known}",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
     if raw is None:
         return None
@@ -103,6 +138,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{entry['id']}: {entry['title']}")
             print(f"    {entry['rationale']}")
         return 0
+
+    if options.explain is not None:
+        return explain_rule(options.explain)
 
     violations: List[Violation] = []
     files_checked = 0

@@ -63,8 +63,27 @@ unseeded default_rng() draws from per-worker entropy streams, making
 parallel runs irreproducible even when the serial path is seeded.
 Thread a seed (or SeedSequence spawn) into everything a worker runs."""
 
-register_project_check(GLOBAL_RULE_ID, GLOBAL_RULE_TITLE, GLOBAL_RULE_RATIONALE)
-register_project_check(RNG_RULE_ID, RNG_RULE_TITLE, RNG_RULE_RATIONALE)
+GLOBAL_RULE_EXAMPLE = """_counter = 0
+def worker(task):
+    global _counter
+    _counter += 1          # racy: runs inside pool.submit(worker, ...)"""
+
+RNG_RULE_EXAMPLE = """def worker(n):
+    rng = np.random.default_rng()   # fresh entropy per worker thread
+    return rng.normal(size=n)"""
+
+register_project_check(
+    GLOBAL_RULE_ID,
+    GLOBAL_RULE_TITLE,
+    GLOBAL_RULE_RATIONALE,
+    example=GLOBAL_RULE_EXAMPLE,
+)
+register_project_check(
+    RNG_RULE_ID,
+    RNG_RULE_TITLE,
+    RNG_RULE_RATIONALE,
+    example=RNG_RULE_EXAMPLE,
+)
 
 #: Executor classes whose ``submit``/``map`` we treat as fan-out points.
 _EXECUTOR_CLASS_SUFFIXES = (

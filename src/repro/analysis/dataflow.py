@@ -67,7 +67,15 @@ reinterprets memory instead of crashing.  Make the contract explicit
 (np.ascontiguousarray(..., dtype=...)) or suppress with a written
 justification."""
 
-register_project_check(NATIVE_RULE_ID, NATIVE_RULE_TITLE, NATIVE_RULE_RATIONALE)
+NATIVE_RULE_EXAMPLE = """table = np.asarray(rows)            # dtype/layout unproven
+kernel.sta_run(table, out)          # crosses the ctypes boundary"""
+
+register_project_check(
+    NATIVE_RULE_ID,
+    NATIVE_RULE_TITLE,
+    NATIVE_RULE_RATIONALE,
+    example=NATIVE_RULE_EXAMPLE,
+)
 
 
 # ----------------------------------------------------------------------

@@ -84,27 +84,49 @@ _SUPPRESS_FILE = re.compile(
 
 @dataclass(frozen=True, order=True)
 class Violation:
-    """One rule hit at one source location."""
+    """One rule hit at one source location.
+
+    Whole-program findings may carry a ``chain``: the ``(path, line)``
+    locations of the call/report chain that led to the finding (root
+    first, offending site last).  A ``# repro-lint: disable=`` directive
+    at *any* chain location silences the finding, and the
+    stale-suppression audit treats such a directive as live — this is
+    what lets checks that report at the chain root still honor a
+    justification written at the violating site (and vice versa).
+    Per-file rules leave it empty.
+    """
 
     path: str
     line: int
     col: int
     rule_id: str
     message: str
+    chain: Tuple[Tuple[str, int], ...] = ()
 
     def format(self) -> str:
         """Render as the conventional ``path:line:col: RULE message``."""
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
 
-    def to_dict(self) -> Dict[str, Union[str, int]]:
+    def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (used by the ``--json`` reporter)."""
-        return {
+        payload: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "rule": self.rule_id,
             "message": self.message,
         }
+        if self.chain:
+            payload["chain"] = [
+                {"path": p, "line": n} for p, n in self.chain
+            ]
+        return payload
+
+    def chain_lines_in(self, path: str) -> Set[int]:
+        """Line numbers of this finding (primary + chain links) in ``path``."""
+        lines = {self.line} if self.path == path else set()
+        lines.update(n for p, n in self.chain if p == path)
+        return lines
 
 
 class FileContext:
@@ -161,6 +183,8 @@ class Rule:
     id: str = ""
     title: str = ""
     rationale: str = ""
+    #: A minimal offending snippet (shown by ``--explain``).
+    example: str = ""
     interests: Tuple[Type[ast.AST], ...] = ()
 
     def begin_file(self, ctx: FileContext) -> None:
@@ -220,7 +244,7 @@ _PROJECT_CHECKS: Dict[str, Dict[str, str]] = {}
 
 
 def register_project_check(
-    check_id: str, title: str, rationale: str
+    check_id: str, title: str, rationale: str, example: str = ""
 ) -> None:
     """Register catalog metadata for a whole-program check id."""
     if not check_id:
@@ -231,6 +255,7 @@ def register_project_check(
         "id": check_id,
         "title": title,
         "rationale": " ".join(rationale.split()),
+        "example": example,
     }
 
 
@@ -252,6 +277,7 @@ def rule_catalog() -> List[Dict[str, str]]:
             "id": rule_id,
             "title": _REGISTRY[rule_id].title,
             "rationale": " ".join(_REGISTRY[rule_id].rationale.split()),
+            "example": _REGISTRY[rule_id].example,
         }
         for rule_id in _REGISTRY
     ]
@@ -332,7 +358,10 @@ def _suppressed(
     file_wide: Set[str],
     per_line: Dict[int, Set[str]],
 ) -> bool:
-    for scope in (file_wide, per_line.get(violation.line, set())):
+    lines = violation.chain_lines_in(violation.path) or {violation.line}
+    scopes = [file_wide]
+    scopes.extend(per_line.get(line, set()) for line in sorted(lines))
+    for scope in scopes:
         if "all" in scope or violation.rule_id in scope:
             return True
     return False
@@ -485,24 +514,37 @@ def stale_suppressions(
     A per-line directive is *live* when some pre-suppression finding of
     that rule exists on that line (per-file findings or whole-program
     ``project_findings``); a file-wide directive is live when such a
-    finding exists anywhere in the file.  Directives naming an id the
-    engine does not know are always stale.  Ids outside ``active_ids``
-    (rules excluded from this run) are skipped — a partial run cannot
-    judge them.  ``all`` is exempt: it is a deliberate sledgehammer.
+    finding exists anywhere in the file.  Whole-program findings count
+    at every location of their report ``chain`` as well as their primary
+    line, so a justification written at either end of a reported call
+    chain stays live.  Directives naming an id the engine does not know
+    are always stale.  Ids outside ``active_ids`` (rules excluded from
+    this run) are skipped — a partial run cannot judge them.  ``all`` is
+    exempt: it is a deliberate sledgehammer.
 
     The resulting :data:`LINT_RULE_ID` violations are themselves subject
     to each file's suppression table.
     """
     known = known_rule_ids()
-    by_file: Dict[str, List[Violation]] = {}
+    #: path → rule id → line numbers where a finding of that rule lands
+    #: (primary locations plus chain links, which may cross files).
+    marks: Dict[str, Dict[str, Set[int]]] = {}
+
+    def _mark(path: str, rule_id: str, line: int) -> None:
+        marks.setdefault(path, {}).setdefault(rule_id, set()).add(line)
+
     for violation in project_findings:
-        by_file.setdefault(violation.path, []).append(violation)
+        _mark(violation.path, violation.rule_id, violation.line)
+        for chain_path, chain_line in violation.chain:
+            _mark(chain_path, violation.rule_id, chain_line)
 
     stale: List[Violation] = []
     for report in reports:
-        findings = list(report.findings) + by_file.get(report.path, [])
-        lines_by_rule: Dict[str, Set[int]] = {}
-        for finding in findings:
+        lines_by_rule: Dict[str, Set[int]] = {
+            rule_id: set(lines)
+            for rule_id, lines in marks.get(report.path, {}).items()
+        }
+        for finding in report.findings:
             lines_by_rule.setdefault(finding.rule_id, set()).add(finding.line)
 
         def assessable(rule_id: str) -> bool:
@@ -614,4 +656,8 @@ register_project_check(
     fixed, and the directive now silently masks future violations at
     that location.  Stale directives (and directives naming unknown rule
     ids) are reported so every suppression in the tree stays earned.""",
+    example=(
+        "x = compute()  # repro-lint: disable=REPRO-FLOAT001\n"
+        "# ^ stale once the float comparison it excused is gone"
+    ),
 )

@@ -2,7 +2,9 @@
 
 The per-file engine (:mod:`repro.analysis.engine`) and the
 whole-program analyses (:mod:`repro.analysis.dataflow`,
-:mod:`repro.analysis.concurrency`) each produce raw findings; this
+:mod:`repro.analysis.concurrency`, :mod:`repro.analysis.seedflow`,
+:mod:`repro.analysis.cachekey`, :mod:`repro.analysis.locks`) each
+produce raw findings; this
 module runs them all over one set of paths, applies every file's
 suppression table uniformly to both kinds, runs the stale-suppression
 check (REPRO-LINT001) over the combined pre-suppression findings, and
@@ -17,12 +19,23 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Union
 
+from repro.analysis.cachekey import KEY_RULE_ID, check_cache_keys
 from repro.analysis.concurrency import (
     GLOBAL_RULE_ID,
     RNG_RULE_ID,
     check_concurrency,
 )
 from repro.analysis.dataflow import NATIVE_RULE_ID, check_native_boundary
+from repro.analysis.locks import (
+    GUARD_RULE_ID,
+    ORDER_RULE_ID,
+    check_lock_discipline,
+)
+from repro.analysis.seedflow import (
+    SEED_FORK_RULE_ID,
+    SEED_SOURCE_RULE_ID,
+    check_seed_flow,
+)
 from repro.analysis.engine import (
     LINT_RULE_ID,
     SYNTAX_ERROR_RULE_ID,
@@ -75,6 +88,31 @@ def _active_ids(
     return active
 
 
+def _chain_suppressed(
+    finding: Violation, report_by_path: Dict[str, FileReport]
+) -> bool:
+    """Whole-program findings honor suppressions at *every* link of
+    their report chain: a justification belongs wherever the code being
+    justified lives (the fork site, the root submit call, the partner
+    access), not only at the primary line.  Per-line directives count in
+    any chain file; file-wide directives only in the primary file —
+    silencing a whole module because one call chain passes through it
+    would be far too blunt."""
+    primary = report_by_path.get(finding.path)
+    if primary is not None and primary.suppressed(finding):
+        return True
+    for chain_path in {p for p, _ in finding.chain if p != finding.path}:
+        report = report_by_path.get(chain_path)
+        if report is None:
+            continue
+        per_line = report.suppressions.per_line
+        for line in finding.chain_lines_in(chain_path):
+            scope = per_line.get(line, set())
+            if "all" in scope or finding.rule_id in scope:
+                return True
+    return False
+
+
 def analyze_project_paths(
     paths: Iterable[Union[str, Path]],
     *,
@@ -86,11 +124,14 @@ def analyze_project_paths(
 
     Per-file rules run through the engine as before; with ``project``
     true (the default) the whole-program checks — REPRO-NATIVE001
-    array-contract dataflow, REPRO-PAR001/002 concurrency safety, and
-    the REPRO-LINT001 stale-suppression audit — run over a
+    array-contract dataflow, REPRO-PAR001/002 concurrency safety,
+    REPRO-SEED001/002 seed-flow taint, REPRO-KEY001 cache-key
+    completeness, REPRO-LOCK001/002 lock discipline, and the
+    REPRO-LINT001 stale-suppression audit — run over a
     :class:`ProjectModel` built from the same paths.  Whole-program
     findings honor the same ``# repro-lint:`` suppression directives as
-    per-file ones.
+    per-file ones, at the primary line or any line of the report chain
+    (see :func:`_chain_suppressed`).
     """
     path_list = list(paths)
     active = _active_ids(select, ignore)
@@ -129,9 +170,20 @@ def analyze_project_paths(
             project_findings.extend(
                 v for v in found if v.rule_id in active
             )
+        if {SEED_SOURCE_RULE_ID, SEED_FORK_RULE_ID} & active:
+            found = check_seed_flow(model)
+            project_findings.extend(
+                v for v in found if v.rule_id in active
+            )
+        if KEY_RULE_ID in active:
+            project_findings.extend(check_cache_keys(model))
+        if {GUARD_RULE_ID, ORDER_RULE_ID} & active:
+            found = check_lock_discipline(model)
+            project_findings.extend(
+                v for v in found if v.rule_id in active
+            )
         for finding in project_findings:
-            finding_report = report_by_path.get(finding.path)
-            if finding_report is not None and finding_report.suppressed(finding):
+            if _chain_suppressed(finding, report_by_path):
                 continue
             violations.append(finding)
         if LINT_RULE_ID in active:

@@ -5,7 +5,6 @@ Each rule guards an invariant the test suite can only probe pointwise:
 
 ========== ==========================================================
 REPRO-RNG001   no legacy ``np.random.*`` global-state calls
-REPRO-RNG002   no unseeded ``default_rng()`` in library code
 REPRO-CACHE001 no in-place mutation of arrays loaded from the
                artifact/KLE cache
 REPRO-FLOAT001 no ``==`` / ``!=`` against float literals
@@ -41,7 +40,6 @@ __all__ = [
     "IncompleteAnnotationsRule",
     "LegacyNumpyRandomRule",
     "MutableDefaultRule",
-    "UnseededDefaultRngRule",
     "WallClockInKeyRule",
 ]
 
@@ -110,6 +108,7 @@ class LegacyNumpyRandomRule(Rule):
     RandomState; they make results depend on call order across the whole
     process and cannot be threaded through repro.utils.rng.  Use
     repro.utils.rng.as_generator / spawn_generators instead."""
+    example = "noise = np.random.normal(size=n)   # hidden global stream"
     interests = (ast.Attribute, ast.ImportFrom)
 
     def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Violation]:
@@ -151,50 +150,11 @@ class LegacyNumpyRandomRule(Rule):
         ]
 
 
-@register_rule
-class UnseededDefaultRngRule(Rule):
-    """Ban entropy-seeded ``default_rng()`` / ``default_rng(None)``."""
-
-    id = "REPRO-RNG002"
-    title = "unseeded default_rng() in library code"
-    rationale = """An unseeded default_rng() draws fresh OS entropy, so the
-    run is unreproducible and no regression can pin its outputs.  Every
-    stochastic entry point must accept a seed and normalize it through
-    repro.utils.rng (which owns the one sanctioned None-handling path)."""
-    interests = (ast.Call,)
-
-    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Violation]:
-        assert isinstance(node, ast.Call)
-        func = node.func
-        if isinstance(func, ast.Attribute):
-            if func.attr != "default_rng":
-                return ()
-            dotted = _dotted_name(func)
-            if dotted not in ("np.random.default_rng", "numpy.random.default_rng"):
-                return ()
-        elif isinstance(func, ast.Name):
-            if func.id != "default_rng":
-                return ()
-        else:
-            return ()
-        unseeded = not node.args and not node.keywords
-        explicit_none = (
-            len(node.args) == 1
-            and not node.keywords
-            and isinstance(node.args[0], ast.Constant)
-            and node.args[0].value is None
-        )
-        if not (unseeded or explicit_none):
-            return ()
-        return [
-            self.violation(
-                ctx,
-                node,
-                "default_rng() without a seed draws fresh OS entropy; "
-                "derive child generators via repro.utils.rng "
-                "(as_generator / spawn_generators / spawn_seed_sequences)",
-            )
-        ]
+# The old per-file REPRO-RNG002 ("no unseeded default_rng()") lived here;
+# it is subsumed by the interprocedural seed-flow pass (REPRO-SEED001 in
+# repro.analysis.seedflow), which also catches the same construction when
+# the entropy arrives through a helper call rather than a literal
+# ``default_rng()`` spelling.
 
 
 # ----------------------------------------------------------------------
@@ -370,6 +330,8 @@ class CacheMutationRule(Rule):
     stores, augmented assignment, and mutating ndarray methods on names
     bound from cache.load(...) / cache.get_or_create(...) /
     read_artifact(...)."""
+    example = """arrays = cache.load(key, required_keys=("eigenvalues",))
+arrays["eigenvalues"] *= scale     # mutates the shared cached array"""
     interests = ()
 
     def finish_file(self, ctx: FileContext) -> Iterable[Violation]:
@@ -392,6 +354,7 @@ class FloatEqualityRule(Rule):
     tolerance).  The deliberate exceptions — exact-zero sentinels on
     values that are assigned, never computed — stay, but must carry an
     inline suppression explaining themselves."""
+    example = "if delay == 0.125:                 # rounding-fragile"
     interests = (ast.Compare,)
 
     def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Violation]:
@@ -433,6 +396,7 @@ class MutableDefaultRule(Rule):
     rationale = """Default values are evaluated once at definition time, so
     a list/dict/set default is shared across calls — state leaks between
     invocations.  Use None and construct inside the body."""
+    example = "def run(circuit, results=[]):      # shared across calls"
     interests = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
 
     def _is_mutable(self, default: ast.AST) -> bool:
@@ -501,6 +465,10 @@ class BroadExceptRule(Rule):
     solve or cache decode that dies silently degrades results instead of
     crashing.  Catch the specific errors a block can raise; a blanket
     handler is only acceptable when it re-raises."""
+    example = """try:
+    result = solver.solve(num_eigenpairs=r)
+except Exception:                  # swallows the drift you care about
+    result = None"""
     interests = (ast.ExceptHandler,)
 
     def _reraises(self, handler: ast.ExceptHandler) -> bool:
@@ -574,6 +542,7 @@ class WallClockInKeyRule(Rule):
     be pure functions of the artifact's inputs.  Flags wall-clock calls
     lexically inside functions whose name says key/hash/digest/
     fingerprint, and wall-clock results fed directly into hashlib."""
+    example = 'def cache_key(name):\n    return f"{name}-{time.time()}"'
     interests = (ast.Call,)
 
     def _is_wall_clock(self, node: ast.Call) -> Optional[str]:
@@ -641,6 +610,7 @@ class IncompleteAnnotationsRule(Rule):
     caller's checking to Any.  Annotate all parameters and the return
     type (``__init__`` may omit the return; *args/**kwargs need
     annotations too)."""
+    example = "def solve(kernel, mesh, r):        # no annotations at all"
     interests = (ast.FunctionDef, ast.AsyncFunctionDef)
 
     def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Violation]:

@@ -188,8 +188,14 @@ def run_mlmc_speedup(
 
     # Warm-up: compile the engine program and build the surrogate outside
     # the timed region (both flows share the same compiled engine cost).
-    harness.run_kle(8, seed=seed)
-    estimator.run(n_samples=[8, 4], seed=seed)
+    # Warm-up draws are discarded, so they get their own derived seeds
+    # rather than aliasing the timed runs' streams (the timed single run
+    # keeps ``seed`` and the MLMC run keeps ``seed + 1`` bitwise).
+    warm_seeds = (
+        (None, None) if seed is None else (int(seed) + 2, int(seed) + 3)
+    )
+    harness.run_kle(8, seed=warm_seeds[0])
+    estimator.run(n_samples=[8, 4], seed=warm_seeds[1])
     setup_already_paid = estimator.setup_seconds
 
     single = harness.run_kle(num_samples, seed=seed)

@@ -76,3 +76,15 @@ class FaultInjector:
         """How many times ``stage`` has actually raised so far."""
         with self._lock:
             return self._fired.get(stage, 0)
+
+    def remaining(self, stage: str) -> int:
+        """How many armed units ``stage`` still has."""
+        with self._lock:
+            return self._remaining.get(stage, 0)
+
+    def snapshot(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """Atomic ``(remaining, fired)`` copies, taken under one lock
+        acquisition so the two views are mutually consistent even while
+        workers are firing."""
+        with self._lock:
+            return dict(self._remaining), dict(self._fired)

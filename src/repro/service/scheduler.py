@@ -90,8 +90,8 @@ class Scheduler:
                 thread_name_prefix="ssta-worker",
             )
             self._pool = pool
-        for index in range(self.config.num_workers):
-            self._workers.append(pool.submit(_run_worker, self, index))
+            for index in range(self.config.num_workers):
+                self._workers.append(pool.submit(_run_worker, self, index))
 
     def stop(self) -> None:
         """Stop serving: fail queued requests, then join the workers."""
@@ -114,12 +114,15 @@ class Scheduler:
             self._pool = None
         if pool is not None:
             pool.shutdown(wait=True)
-        self._workers.clear()
+        with self._lock:
+            self._workers.clear()
 
     @property
     def running(self) -> bool:
         """Whether the worker pool is up and accepting work."""
-        return self._pool is not None and not self._stop.is_set()
+        with self._lock:
+            pool = self._pool
+        return pool is not None and not self._stop.is_set()
 
     # ------------------------------------------------------------------
     # Admission.

@@ -71,7 +71,8 @@ class ResultStream:
     @property
     def cancel_reason(self) -> Optional[str]:
         """Why the stream was cancelled, when it was."""
-        return self._cancel_reason
+        with self._lock:
+            return self._cancel_reason
 
     def cancel(self, reason: str = "cancelled by client") -> None:
         """Disconnect: stop receiving chunks and release the producer.
@@ -120,7 +121,8 @@ class ResultStream:
             raise TimeoutError(
                 f"request {self.request_id} not finished within {timeout_s}s"
             )
-        result = self._result
+        with self._lock:
+            result = self._result
         assert result is not None
         return result
 
@@ -150,6 +152,11 @@ class ResultStream:
                 )
             )
             return False
+        if self._cancelled.is_set():
+            # cancel() may have drained between our check and the put,
+            # stranding this chunk; drop it and report the disconnect.
+            self._drain()
+            return False
         return True
 
     def finish(self, result: ServiceResult) -> None:
@@ -172,7 +179,8 @@ class ResultStream:
 
     def status(self) -> RequestStatus:
         """Current lifecycle status (terminal once :meth:`done`)."""
-        result = self._result
+        with self._lock:
+            result = self._result
         if result is not None:
             return result.status
         if self._cancelled.is_set():

@@ -1,0 +1,23 @@
+"""Incomplete cache key: one REPRO-KEY001 hit.
+
+``tolerance`` shapes the stored arrays but never reaches the key, so two
+runs with different tolerances share an entry — the second silently
+serves results computed under the first's setting.
+"""
+
+from typing import Dict
+
+import numpy as np
+
+
+def build_key(circuit: str, rank: int) -> str:
+    return f"kle_{circuit}_r{rank}"
+
+
+def expensive(circuit: str, rank: int, tolerance: float) -> Dict[str, np.ndarray]:
+    return {"eigenvalues": np.full(rank, tolerance)}
+
+
+def solve(cache: object, circuit: str, rank: int, tolerance: float) -> None:
+    key = build_key(circuit, rank)
+    cache.store(key, expensive(circuit, rank, tolerance))

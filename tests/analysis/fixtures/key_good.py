@@ -1,0 +1,33 @@
+"""Complete cache key: every value-shaping parameter is folded in, so
+REPRO-KEY001 must stay silent.  Also exercises the two documented
+skips: the bare-param plumbing site and the pass-through writer.
+"""
+
+from typing import Dict
+
+import numpy as np
+
+
+def build_key(circuit: str, rank: int, tolerance: float) -> str:
+    return f"kle_{circuit}_r{rank}_tol{tolerance}"
+
+
+def expensive(circuit: str, rank: int, tolerance: float) -> Dict[str, np.ndarray]:
+    return {"eigenvalues": np.full(rank, tolerance)}
+
+
+def solve(cache: object, circuit: str, rank: int, tolerance: float) -> None:
+    key = build_key(circuit, rank, tolerance)
+    cache.store(key, expensive(circuit, rank, tolerance))
+
+
+def plumbing(cache: object, key: str, arrays: Dict[str, np.ndarray]) -> None:
+    """The cache layer itself: key arrives as a parameter (skipped)."""
+    cache.store(key, arrays)
+
+
+def passthrough_writer(cache: object, name: str, payload: Dict[str, np.ndarray]) -> None:
+    """Stores a caller-computed payload under a caller-chosen name; its
+    completeness is a property of the call sites (inventoried, not
+    judged)."""
+    cache.store(f"placement_{name}", {"xy": payload["xy"]})

@@ -1,0 +1,26 @@
+"""Opposite lock-acquisition orders: REPRO-LOCK002 must fire.
+
+``credit`` takes ``_a`` then ``_b``; ``debit`` takes ``_b`` then ``_a``.
+Two interleaving threads each hold what the other needs — deadlock.
+The attribute accesses themselves are fully guarded, so REPRO-LOCK001
+must stay silent: order, not coverage, is the bug here.
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._balance = 0
+
+    def credit(self, amount: int) -> None:
+        with self._a:
+            with self._b:
+                self._balance += amount
+
+    def debit(self, amount: int) -> None:
+        with self._b:
+            with self._a:
+                self._balance -= amount

@@ -1,0 +1,34 @@
+"""Unguarded shared state: REPRO-LOCK001 must fire.
+
+``Counter`` owns a lock and is reached from a ``pool.submit`` root, but
+``bump`` writes ``_total`` with no lock held while ``total`` reads it
+under ``_lock`` — a torn-counter race.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def bump(self) -> None:
+        self._total += 1
+
+    def total(self) -> int:
+        with self._lock:
+            return self._total
+
+
+def worker(counter: Counter) -> None:
+    counter.bump()
+
+
+def run(rounds: int) -> int:
+    counter = Counter()
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        for _ in range(rounds):
+            pool.submit(worker, counter)
+    return counter.total()

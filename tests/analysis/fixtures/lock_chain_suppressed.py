@@ -1,0 +1,40 @@
+"""Chain-aware suppression fixture for the whole-program gate.
+
+The unlocked ``status`` read is a genuine REPRO-LOCK001 finding whose
+report chain points at the locked write; the justification lives at the
+*write* line (where the locking decision is made), so the gate must
+honor it there and the stale-suppression audit must count it as live.
+The directive on ``label`` matches nothing and must be reported stale.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Probe:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._status = "idle"
+        self.label = "probe"
+
+    def set_status(self, status: str) -> None:
+        with self._lock:
+            # Single-word writes; readers tolerate a one-update lag.
+            self._status = status  # repro-lint: disable=REPRO-LOCK001
+
+    def status(self) -> str:
+        return self._status
+
+    def describe(self) -> str:
+        return self.label  # repro-lint: disable=REPRO-LOCK001
+
+
+def worker(probe: Probe) -> None:
+    probe.set_status("busy")
+
+
+def run() -> str:
+    probe = Probe()
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        pool.submit(worker, probe)
+    return probe.status()

@@ -1,0 +1,46 @@
+"""Disciplined locking REPRO-LOCK001/002 must stay silent on.
+
+Every shared access holds the class lock, lock order is globally
+consistent, and the lazily built ``model`` uses the sanctioned
+double-checked shape (unlocked fast-path read, re-read under the lock
+every writer holds).
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: List[int] = []
+        self._model: Optional[str] = None
+
+    def add(self, value: int) -> None:
+        with self._lock:
+            self._entries.append(value)
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def model(self) -> str:
+        if self._model is None:
+            with self._lock:
+                if self._model is None:
+                    self._model = "built"
+        with self._lock:
+            return self._model
+
+
+def worker(registry: Registry, value: int) -> None:
+    registry.add(value)
+
+
+def run(rounds: int) -> int:
+    registry = Registry()
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        for index in range(rounds):
+            pool.submit(worker, registry, index)
+    return registry.size()

@@ -1,0 +1,26 @@
+"""One seed, two streams: two REPRO-SEED002 hits.
+
+Feeding the same seed to two generator constructions yields two
+*identical* streams masquerading as independent randomness — level
+estimates correlate and Monte-Carlo error bars silently lie.  The
+sanctioned shape is a single SeedSequence spawn.
+"""
+
+import numpy as np
+
+
+def two_direct_streams(seed: int, n: int) -> float:
+    a = np.random.default_rng(seed)
+    b = np.random.default_rng(seed)
+    return float(a.standard_normal(n).sum() + b.standard_normal(n).sum())
+
+
+def _sample(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n)
+
+
+def direct_then_helper(seed: int, n: int) -> float:
+    rng = np.random.default_rng(seed)
+    other = _sample(seed, n)
+    return float(rng.standard_normal(n).sum() + other.sum())

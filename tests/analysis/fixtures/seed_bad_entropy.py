@@ -1,0 +1,33 @@
+"""Entropy-reaching generator constructions: three REPRO-SEED001 hits.
+
+Covers the direct unseeded spelling, a wall-clock seed laundered through
+a local, and entropy arriving through a helper call — the case the
+retired per-file rule could never see.
+"""
+
+import time
+
+import numpy as np
+
+
+def fresh_entropy(n: int) -> np.ndarray:
+    """Direct unseeded construction."""
+    rng = np.random.default_rng()
+    return rng.standard_normal(n)
+
+
+def clock_seeded(n: int) -> np.ndarray:
+    """Wall-clock seed through a local variable."""
+    seed = int(time.time())
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n)
+
+
+def _entropy_helper() -> int:
+    return int(time.time_ns())
+
+
+def laundered(n: int) -> np.ndarray:
+    """Entropy arrives through a helper call, not a literal spelling."""
+    rng = np.random.default_rng(_entropy_helper())
+    return rng.standard_normal(n)

@@ -1,0 +1,27 @@
+"""Sanctioned seed-flow shapes REPRO-SEED001/002 must stay silent on.
+
+Branch-exclusive consumption (only one arm runs), SeedSequence spawning
+(each consumer gets an independent child), and plain single consumption.
+"""
+
+from typing import List
+
+import numpy as np
+
+
+def single_stream(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n)
+
+
+def exclusive_arms(seed: int, n: int, antithetic: bool) -> np.ndarray:
+    if antithetic:
+        rng = np.random.default_rng(seed)
+        return -rng.standard_normal(n)
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n)
+
+
+def spawned_children(seed: int, count: int) -> List[np.random.Generator]:
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(count)]

@@ -1,8 +1,9 @@
-"""Unseeded range-finder RNG fixture: what REPRO-RNG002 must flag.
+"""Unseeded range-finder RNG fixture: what REPRO-SEED001 must flag.
 
 An entropy-seeded sketch makes the randomized eigensolve irreproducible
 — no cache key could describe it — so both unseeded spellings here must
-each produce one REPRO-RNG002 finding.
+each produce one REPRO-SEED001 finding (the seed-flow pass that
+subsumed the retired per-file REPRO-RNG002).
 """
 
 import numpy as np

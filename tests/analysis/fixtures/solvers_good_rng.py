@@ -2,7 +2,7 @@
 
 The Gaussian sketch's generator is derived from an explicit root seed
 through ``spawn_seed_sequences`` — the exact pattern
-``repro.solvers.randomized`` uses — so REPRO-RNG002 must stay silent.
+``repro.solvers.randomized`` uses — so REPRO-SEED001 must stay silent.
 """
 
 import numpy as np

@@ -99,15 +99,20 @@ def test_list_rules_prints_catalog(capsys):
     out = capsys.readouterr().out
     for rule_id in (
         "REPRO-RNG001",
-        "REPRO-RNG002",
         "REPRO-CACHE001",
         "REPRO-FLOAT001",
         "REPRO-DEF001",
         "REPRO-EXC001",
         "REPRO-TIME001",
         "REPRO-TYPE001",
+        "REPRO-SEED001",
+        "REPRO-SEED002",
+        "REPRO-KEY001",
+        "REPRO-LOCK001",
+        "REPRO-LOCK002",
     ):
         assert rule_id in out
+    assert "REPRO-RNG002" not in out  # retired into REPRO-SEED001
 
 
 @pytest.fixture()
@@ -157,6 +162,27 @@ def test_list_rules_includes_project_checks(capsys):
         "REPRO-LINT001",
     ):
         assert rule_id in out
+
+
+def test_explain_covers_every_registered_rule(capsys):
+    from repro.analysis.engine import rule_catalog
+
+    catalog = rule_catalog()
+    assert catalog, "rule catalog is empty"
+    for entry in catalog:
+        assert main(["--explain", entry["id"]]) == 0
+        out = capsys.readouterr().out
+        assert entry["id"] in out
+        assert entry["title"] in out
+        # Every rule ships a minimal violating example.
+        assert "example" in out.lower()
+
+
+def test_explain_unknown_rule_is_usage_error(capsys):
+    assert main(["--explain", "REPRO-NOPE999"]) == 2
+    err = capsys.readouterr().err
+    assert "REPRO-NOPE999" in err
+    assert "REPRO-RNG001" in err  # lists the known ids
 
 
 def test_cabi_only_skips_lint(broken_tree, capsys):

@@ -60,26 +60,17 @@ def test_rng001_ignores_unrelated_attribute_chains():
 
 
 # ----------------------------------------------------------------------
-# REPRO-RNG002 — unseeded default_rng().
+# REPRO-RNG002 — retired: the per-file unseeded-default_rng rule was
+# subsumed by the interprocedural seed-flow pass (REPRO-SEED001, see
+# tests/analysis/test_seedflow.py for the behavioral coverage).
 # ----------------------------------------------------------------------
-def test_rng002_flags_unseeded_and_explicit_none():
-    bad = """
-        import numpy as np
-        a = np.random.default_rng()
-        b = np.random.default_rng(None)
-        c = default_rng()
-    """
-    assert hits("REPRO-RNG002", bad) == ["REPRO-RNG002"] * 3
+def test_rng002_is_retired_in_favor_of_seed_flow():
+    from repro.analysis.engine import known_rule_ids
 
-
-def test_rng002_clean_when_seed_is_threaded():
-    good = """
-        import numpy as np
-        a = np.random.default_rng(123)
-        b = np.random.default_rng(seed)
-        c = np.random.default_rng(seed=value)
-    """
-    assert hits("REPRO-RNG002", good) == []
+    known = known_rule_ids()
+    assert "REPRO-RNG002" not in known
+    assert "REPRO-SEED001" in known
+    assert "REPRO-SEED002" in known
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,58 @@
+"""REPRO-SEED001/002 — the interprocedural seed-flow pass.
+
+Fixture contracts (each rule has a firing and a silent shape) plus the
+live-tree scope assertions: the pass must actually visit the service,
+solver and MLMC packages — a pass that silently stops seeing a package
+would look identical to a clean run.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import analyze_project_paths
+from repro.analysis.project import ProjectModel
+from repro.analysis.seedflow import sink_sites
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_REPRO = Path(repro.__file__).resolve().parent
+
+
+def _gate(fixture, select=("REPRO-SEED001", "REPRO-SEED002")):
+    report = analyze_project_paths([FIXTURES / fixture], select=list(select))
+    return report.violations
+
+
+def test_entropy_fixture_fires_seed001_three_ways():
+    # Direct unseeded, wall-clock through a local, and entropy through a
+    # helper call — the interprocedural case the per-file rule missed.
+    found = _gate("seed_bad_entropy.py")
+    assert [v.rule_id for v in found] == ["REPRO-SEED001"] * 3
+
+
+def test_alias_fixture_fires_seed002_for_both_fork_shapes():
+    # Same seed into two direct constructions, and direct + helper.
+    found = _gate("seed_bad_alias.py")
+    assert [v.rule_id for v in found] == ["REPRO-SEED002"] * 2
+    # The second consumer is flagged with a chain back to the first.
+    assert all(v.chain for v in found)
+
+
+def test_sanctioned_shapes_stay_clean():
+    # Single consumption, branch-exclusive arms, SeedSequence spawning.
+    assert _gate("seed_good.py") == []
+
+
+def test_live_tree_is_clean_and_scope_covers_all_packages():
+    report = analyze_project_paths(
+        [SRC_REPRO], select=["REPRO-SEED001", "REPRO-SEED002"]
+    )
+    rendered = "\n".join(v.format() for v in report.violations)
+    assert not report.violations, f"seed-flow violations in src:\n{rendered}"
+
+    model = ProjectModel.from_paths([SRC_REPRO])
+    paths = {p.replace("\\", "/") for p, _ in sink_sites(model)}
+    for package in ("service/", "solvers/", "mlmc/"):
+        assert any(package in p for p in paths), (
+            f"seed-flow pass inspected no sink in {package} — "
+            f"silent scope loss"
+        )

@@ -3,7 +3,8 @@
 ``repro.solvers`` is the library's one deliberately stochastic numerical
 subsystem, so it gets the same standalone gate treatment as the service
 layer — file-level clean, clean under the full project gate with no
-other module's context to lean on — plus a pinned REPRO-RNG002 contract:
+other module's context to lean on — plus a pinned REPRO-SEED001
+contract (the seed-flow successor of the retired per-file REPRO-RNG002):
 the range finder's generator must be derived from an explicit seed
 (through ``spawn_seed_sequences``), and the unseeded spelling of the
 same sketch code must actually fire the rule.
@@ -35,15 +36,15 @@ def test_solvers_package_passes_the_project_gate_standalone():
 
 
 def test_seeded_range_finder_fixture_is_rng_clean():
-    found = analyze_paths(
-        [FIXTURES / "solvers_good_rng.py"], select=["REPRO-RNG002"]
+    report = analyze_project_paths(
+        [FIXTURES / "solvers_good_rng.py"], select=["REPRO-SEED001"]
     )
-    rendered = "\n".join(v.format() for v in found)
-    assert not found, f"seeded sketch flagged:\n{rendered}"
+    rendered = "\n".join(v.format() for v in report.violations)
+    assert not report.violations, f"seeded sketch flagged:\n{rendered}"
 
 
-def test_unseeded_range_finder_fixture_fires_rng002():
-    found = analyze_paths(
-        [FIXTURES / "solvers_bad_rng.py"], select=["REPRO-RNG002"]
+def test_unseeded_range_finder_fixture_fires_seed001():
+    report = analyze_project_paths(
+        [FIXTURES / "solvers_bad_rng.py"], select=["REPRO-SEED001"]
     )
-    assert [v.rule_id for v in found] == ["REPRO-RNG002"] * 2
+    assert [v.rule_id for v in report.violations] == ["REPRO-SEED001"] * 2

@@ -101,6 +101,37 @@ class TestMeshKLEHierarchy:
         )
         assert dense_ladder.solver_methods == ("dense", "dense")
 
+    def test_auto_is_bitwise_identical_to_the_explicit_methods(
+        self, gaussian_kernel
+    ):
+        # "auto" is pure routing — each level's eigenpairs must be the
+        # exact arrays the explicitly chosen solver produces, bit for
+        # bit, or the mode silently changes every downstream estimate.
+        coarse = structured_rectangle_mesh(*DIE, 4, 4)  # 32 triangles
+        fine = structured_rectangle_mesh(*DIE, 8, 8)  # 128 triangles
+        common = dict(rank=8, num_eigenpairs=16, solver_seed=7)
+        auto = MeshKLEHierarchy(
+            gaussian_kernel,
+            [coarse, fine],
+            randomized_threshold=64,
+            **common,
+        )
+        assert auto.solver_methods == ("dense", "randomized")
+        dense = MeshKLEHierarchy(
+            gaussian_kernel, [coarse], solver_method="dense", **common
+        )
+        randomized = MeshKLEHierarchy(
+            gaussian_kernel, [fine], solver_method="randomized", **common
+        )
+        for name, kle in auto.models()[0].kles.items():
+            explicit = dense.models()[0].kles[name]
+            assert (kle.eigenvalues == explicit.eigenvalues).all()
+            assert (kle.d_vectors == explicit.d_vectors).all()
+        for name, kle in auto.models()[1].kles.items():
+            explicit = randomized.models()[0].kles[name]
+            assert (kle.eigenvalues == explicit.eigenvalues).all()
+            assert (kle.d_vectors == explicit.d_vectors).all()
+
     def test_explicit_solver_method_applies_to_every_level(
         self, gaussian_kernel
     ):
