@@ -1,0 +1,113 @@
+"""Cold/warm bench for the incremental static-analysis gate.
+
+Runs the full gate over ``src/repro`` cold (empty artifact cache, every
+file analyzed, every whole-program pass recomputed) and warm (all
+findings served from the content-hash-keyed cache), under the repo's
+noise discipline — repeated runs, median + IQR via
+:func:`repro.utils.bench.timed_median` — and writes the timings to
+``BENCH_pr10.json`` (override with ``REPRO_LINT_BENCH_JSON``).
+
+Two gates:
+
+- **bitwise identity** — the warm report and a cache-bypassing 4-worker
+  parallel report must serialize identically to the cold report; the
+  cache and the process fan-out are pure memoization, never allowed to
+  change a finding;
+- **speedup** — the warm gate must be ≥ 5× faster than cold (the whole
+  point of keying findings on content hashes).
+"""
+
+import json
+import os
+import shutil
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import analyze_project_paths
+from repro.utils.bench import timed_median
+
+SRC_REPRO = Path(repro.__file__).resolve().parent
+_REPEATS = 3
+_WARM_SPEEDUP_FLOOR = 5.0
+
+
+def _serialize(report) -> str:
+    return json.dumps(
+        [v.to_dict() for v in report.violations], sort_keys=True
+    )
+
+
+@pytest.fixture(scope="module")
+def lint_sweep(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("lint-bench") / "cache"
+    reports = {}
+
+    def cold():
+        shutil.rmtree(cache, ignore_errors=True)
+        reports["cold"] = analyze_project_paths(
+            [SRC_REPRO], cache_dir=str(cache)
+        )
+
+    def warm():
+        reports["warm"] = analyze_project_paths(
+            [SRC_REPRO], cache_dir=str(cache)
+        )
+
+    timings = {
+        "cold": timed_median(cold, repeats=_REPEATS, warmup=0),
+        # The last cold repeat left the cache populated; one untimed
+        # warm-up then absorbs interpreter warm state.
+        "warm": timed_median(warm, repeats=_REPEATS, warmup=1),
+    }
+    reports["parallel"] = analyze_project_paths(
+        [SRC_REPRO], use_cache=False, jobs=4
+    )
+    speedup = timings["cold"].median / max(timings["warm"].median, 1e-12)
+    payload = {
+        "bench": "lint-incremental-cache",
+        "tree": str(SRC_REPRO),
+        "files_checked": reports["cold"].files_checked,
+        "cores": os.cpu_count() or 1,
+        "timings": {
+            name: stats.to_dict() for name, stats in timings.items()
+        },
+        "warm_speedup": round(speedup, 3),
+        "warm_reanalyzed_files": len(reports["warm"].reanalyzed_paths),
+    }
+    path = os.environ.get("REPRO_LINT_BENCH_JSON", "BENCH_pr10.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return reports, timings, payload
+
+
+def test_cache_and_worker_fanout_never_change_findings(
+    lint_sweep, bench_record
+):
+    """The correctness gate: identity across cold/warm/parallel."""
+    reports, _, payload = lint_sweep
+    bench_record(
+        files_checked=payload["files_checked"],
+        warm_speedup=payload["warm_speedup"],
+        cores=payload["cores"],
+    )
+    cold = _serialize(reports["cold"])
+    assert _serialize(reports["warm"]) == cold
+    assert _serialize(reports["parallel"]) == cold
+    assert reports["warm"].reanalyzed_paths == []
+    assert reports["warm"].project_from_cache
+
+
+def test_warm_gate_is_five_times_faster(lint_sweep):
+    """The perf gate the incremental keying exists to provide."""
+    _, timings, payload = lint_sweep
+    speedup = payload["warm_speedup"]
+    assert speedup >= _WARM_SPEEDUP_FLOOR, (
+        f"warm gate only {speedup:.2f}x faster than cold "
+        f"(cold median {timings['cold'].median:.2f}s ± IQR "
+        f"{timings['cold'].iqr:.2f}s, warm median "
+        f"{timings['warm'].median:.2f}s ± IQR "
+        f"{timings['warm'].iqr:.2f}s)"
+    )

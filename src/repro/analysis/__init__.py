@@ -25,13 +25,17 @@ from __future__ import annotations
 
 from repro.analysis.cabi import (
     ABIMismatch,
+    BufferObligation,
     CParameter,
     CPrototype,
+    KernelLoopBound,
     UnsupportedDeclarationError,
     check_c_abi,
     check_function,
     ctype_for,
     describe_ctype,
+    kernel_buffer_obligations,
+    kernel_loop_bounds,
     parse_c_prototypes,
 )
 from repro.analysis.engine import (
@@ -46,6 +50,7 @@ from repro.analysis.engine import (
     analyze_paths,
     analyze_source,
     analyze_source_report,
+    catalog_fingerprint,
     iter_python_files,
     known_rule_ids,
     project_check_ids,
@@ -53,6 +58,13 @@ from repro.analysis.engine import (
     register_rule,
     rule_catalog,
     stale_suppressions,
+)
+from repro.analysis.symbolic import (
+    Poly,
+    SymbolicError,
+    parse_expr,
+    poly_lower_bound,
+    prove_ge,
 )
 
 # Importing the rules module registers every per-file project rule;
@@ -83,7 +95,18 @@ from repro.analysis.dataflow import (
     NativeBoundaryChecker,
     check_native_boundary,
 )
-from repro.analysis.gate import GateReport, analyze_project_paths
+from repro.analysis.shapes import (
+    BUFFER_RULE_ID,
+    SHAPE_RULE_ID,
+    ShapeChecker,
+    check_shapes,
+)
+from repro.analysis.gate import (
+    GateReport,
+    LINT_CACHE_NAME,
+    analyze_project_paths,
+    changed_file_subset,
+)
 from repro.analysis.project import (
     ClassInfo,
     FunctionInfo,
@@ -97,6 +120,8 @@ from repro.analysis.reporters import format_human, format_json, report_payload
 __all__ = [
     "ABIMismatch",
     "ArrayFact",
+    "BUFFER_RULE_ID",
+    "BufferObligation",
     "CParameter",
     "CPrototype",
     "ClassInfo",
@@ -109,18 +134,24 @@ __all__ = [
     "GUARD_RULE_ID",
     "GateReport",
     "KEY_RULE_ID",
+    "KernelLoopBound",
+    "LINT_CACHE_NAME",
     "LINT_RULE_ID",
     "ModuleInfo",
     "NATIVE_RULE_ID",
     "NativeBoundaryChecker",
     "ORDER_RULE_ID",
+    "Poly",
     "ProjectModel",
     "RNG_RULE_ID",
     "Resolver",
     "Rule",
     "SEED_FORK_RULE_ID",
     "SEED_SOURCE_RULE_ID",
+    "SHAPE_RULE_ID",
     "SYNTAX_ERROR_RULE_ID",
+    "ShapeChecker",
+    "SymbolicError",
     "UnsupportedDeclarationError",
     "Violation",
     "all_rules",
@@ -129,6 +160,8 @@ __all__ = [
     "analyze_project_paths",
     "analyze_source",
     "analyze_source_report",
+    "catalog_fingerprint",
+    "changed_file_subset",
     "check_c_abi",
     "check_cache_keys",
     "check_concurrency",
@@ -136,15 +169,21 @@ __all__ = [
     "check_lock_discipline",
     "check_native_boundary",
     "check_seed_flow",
+    "check_shapes",
     "ctype_for",
     "describe_ctype",
     "format_human",
     "format_json",
     "iter_python_files",
+    "kernel_buffer_obligations",
+    "kernel_loop_bounds",
     "known_rule_ids",
     "main",
     "parse_c_prototypes",
+    "parse_expr",
+    "poly_lower_bound",
     "project_check_ids",
+    "prove_ge",
     "register_project_check",
     "register_rule",
     "report_payload",

@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.cabi import ABIMismatch, check_c_abi
 from repro.analysis.engine import Violation, rule_catalog
-from repro.analysis.gate import analyze_project_paths
+from repro.analysis.gate import analyze_project_paths, changed_file_subset
 from repro.analysis.reporters import format_human, format_json
 
 __all__ = ["build_parser", "explain_rule", "main"]
@@ -93,6 +93,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run only the C-ABI cross-check (no Python lint)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the per-file phase (default 1; "
+            "0 means one per CPU); output is identical at any count"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental findings cache (full re-analysis)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "incremental cache directory "
+            "(default: $REPRO_CACHE_DIR/lint)"
+        ),
+    )
+    parser.add_argument(
+        "--changed-since",
+        metavar="REF",
+        help=(
+            "smoke mode: per-file rules only, restricted to files "
+            "changed since git REF plus their import-graph dependents "
+            "(whole-program passes are skipped — run the full gate "
+            "before merging)"
+        ),
+    )
     return parser
 
 
@@ -145,23 +178,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     violations: List[Violation] = []
     files_checked = 0
     syntax_failure = False
+    cache_note: Optional[str] = None
     if not options.cabi_only:
         try:
-            report = analyze_project_paths(
-                options.paths,
-                select=_split_ids(options.select),
-                ignore=_split_ids(options.ignore),
-                project=not options.no_project,
-            )
+            paths: List[str] = list(options.paths)
+            run_project = not options.no_project
+            if options.changed_since is not None:
+                paths = changed_file_subset(paths, options.changed_since)
+                run_project = False
+            if paths:
+                report = analyze_project_paths(
+                    paths,
+                    select=_split_ids(options.select),
+                    ignore=_split_ids(options.ignore),
+                    project=run_project,
+                    jobs=options.jobs,
+                    use_cache=not options.no_cache,
+                    cache_dir=options.cache_dir,
+                )
+                violations = report.violations
+                files_checked = report.files_checked
+                syntax_failure = report.has_syntax_errors
+                if not options.no_cache:
+                    reused = files_checked - len(report.reanalyzed_paths)
+                    cache_note = (
+                        f"incremental cache: {reused}/{files_checked} "
+                        f"file(s) reused, whole-program findings "
+                        f"{'reused' if report.project_from_cache else 'recomputed'}"
+                        if run_project
+                        else f"incremental cache: {reused}/{files_checked} "
+                        f"file(s) reused"
+                    )
         except FileNotFoundError as exc:
             print(f"repro-lint: error: {exc}", file=sys.stderr)
             return 2
-        except ValueError as exc:
+        except (RuntimeError, ValueError) as exc:
             print(f"repro-lint: error: {exc}", file=sys.stderr)
             return 2
-        violations = report.violations
-        files_checked = report.files_checked
-        syntax_failure = report.has_syntax_errors
+        violations = list(violations)
 
     mismatches: Optional[List[ABIMismatch]] = None
     if options.cabi_only or not options.no_cabi:
@@ -176,7 +230,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         print(
             format_human(
-                violations, mismatches, files_checked=files_checked
+                violations,
+                mismatches,
+                files_checked=files_checked,
+                cache_note=cache_note,
             )
         )
     if syntax_failure:

@@ -29,7 +29,9 @@ the registry.
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
+import json
 import re
 import tokenize
 from dataclasses import dataclass
@@ -56,14 +58,17 @@ __all__ = [
     "Violation",
     "all_rules",
     "analyze_file",
+    "analyze_file_findings",
     "analyze_paths",
     "analyze_source",
     "analyze_source_report",
+    "catalog_fingerprint",
     "iter_python_files",
     "known_rule_ids",
     "project_check_ids",
     "register_project_check",
     "register_rule",
+    "report_from_findings",
     "rule_catalog",
     "stale_suppressions",
 ]
@@ -605,6 +610,73 @@ def analyze_file(
     return analyze_source(
         text, str(path), rules=rules, select=select, ignore=ignore
     )
+
+
+def catalog_fingerprint() -> str:
+    """SHA-256 over the full rule catalog (ids, titles, rationales,
+    examples) of every registered per-file rule and whole-program check.
+
+    This is the "rule-catalog version" component of every incremental
+    cache key: editing any rule's behavior should come with a visible
+    metadata change, and even a pure doc edit safely invalidates cached
+    findings rather than risking stale results after a semantic change.
+    """
+    payload = json.dumps(rule_catalog(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def report_from_findings(
+    path: str,
+    source: str,
+    findings: Sequence[Violation],
+    *,
+    active_ids: Optional[Set[str]] = None,
+) -> FileReport:
+    """Rebuild a :class:`FileReport` from pre-suppression findings.
+
+    This is the cache-hit path of the incremental gate: ``findings`` are
+    the raw hits of *all* per-file rules (recomputed or loaded from the
+    findings cache — the two are byte-identical by construction), and the
+    post-suppression ``violations`` view is re-derived here by parsing
+    the suppression table from ``source`` and filtering to
+    ``active_ids`` (None means every rule is active).  Keeping
+    select/ignore filtering out of the cached payload is what lets one
+    cache entry serve every rule selection.
+    """
+    table = _parse_suppressions(source)
+    syntax_error = any(
+        v.rule_id == SYNTAX_ERROR_RULE_ID for v in findings
+    )
+    kept = [
+        v
+        for v in findings
+        if (active_ids is None or v.rule_id in active_ids)
+        and not _suppressed(v, table.file_wide_ids, table.per_line)
+    ]
+    return FileReport(
+        path=path,
+        source=source,
+        syntax_error=syntax_error,
+        findings=sorted(findings),
+        violations=sorted(kept),
+        suppressions=table,
+    )
+
+
+def analyze_file_findings(path: str) -> List[Violation]:
+    """Run every registered per-file rule over one file; raw findings.
+
+    Module-level by design: this is the worker the incremental gate
+    submits to its ``ProcessPoolExecutor`` fan-out, so the concurrency
+    pass (REPRO-PAR001/002) can resolve the submit root statically, and
+    spawned interpreters can import it by qualified name.  The rule
+    registry is populated locally because a spawned child has not
+    executed :mod:`repro.analysis`'s registering imports.
+    """
+    import repro.analysis.rules  # noqa: F401  (populates the registry)
+
+    source = Path(path).read_text(encoding="utf-8")
+    return analyze_source_report(source, path, rules=all_rules()).findings
 
 
 def iter_python_files(paths: Iterable[Union[str, Path]]) -> Iterator[Path]:

@@ -16,8 +16,14 @@ def format_human(
     mismatches: Optional[Sequence[ABIMismatch]] = None,
     *,
     files_checked: int = 0,
+    cache_note: Optional[str] = None,
 ) -> str:
-    """Conventional ``path:line:col: RULE message`` listing + summary line."""
+    """Conventional ``path:line:col: RULE message`` listing + summary line.
+
+    ``cache_note`` (the incremental-cache reuse line) appears only in
+    this human rendering — the JSON report must stay byte-identical
+    between cold and warm runs of the same tree.
+    """
     lines: List[str] = [v.format() for v in violations]
     if mismatches:
         lines.append("C-ABI cross-check (sta_kernel.c vs ctypes argtypes):")
@@ -34,6 +40,8 @@ def format_human(
             f"repro-lint: {', '.join(parts)} "
             f"({files_checked} file(s) checked)"
         )
+    if cache_note:
+        lines.append(cache_note)
     lines.append(summary)
     return "\n".join(lines)
 

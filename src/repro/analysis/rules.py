@@ -12,6 +12,7 @@ REPRO-DEF001   no mutable default arguments
 REPRO-EXC001   no bare or blanket ``except`` without re-raise
 REPRO-TIME001  no wall-clock reads inside cache-key/hash construction
 REPRO-TYPE001  public functions carry complete type annotations
+REPRO-PERF001  no per-iteration array allocation in hot-module loops
 ========== ==========================================================
 
 Intentional exceptions are annotated in place with
@@ -39,6 +40,7 @@ __all__ = [
     "FloatEqualityRule",
     "IncompleteAnnotationsRule",
     "LegacyNumpyRandomRule",
+    "LoopAllocationRule",
     "MutableDefaultRule",
     "WallClockInKeyRule",
 ]
@@ -586,6 +588,93 @@ class WallClockInKeyRule(Rule):
                 f"{dotted}() inside cache-key/hash construction makes the "
                 f"key time-dependent — it will never match on reload; "
                 f"keys must be pure functions of the inputs",
+            )
+        ]
+
+
+# ----------------------------------------------------------------------
+# Hot-loop allocation hygiene
+# ----------------------------------------------------------------------
+
+#: numpy constructors that allocate a fresh array per call.
+_ALLOCATING_NUMPY = frozenset({"zeros", "empty", "concatenate"})
+
+#: Path segments marking modules on the per-sample / per-iteration hot
+#: path, where an O(iterations) allocation rate shows up directly in the
+#: benchmark suite.
+_HOT_SEGMENTS = frozenset({"timing", "mlmc", "solvers"})
+
+
+def _in_hot_module(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(seg in normalized.split("/") for seg in _HOT_SEGMENTS)
+
+
+@register_rule
+class LoopAllocationRule(Rule):
+    """Flag per-iteration array allocations in hot-module loops."""
+
+    id = "REPRO-PERF001"
+    title = "array allocation inside a hot-module loop"
+    rationale = """np.zeros/np.empty/np.concatenate (and .astype, which
+    copies) allocate a fresh buffer every call; inside a for/while loop
+    in the per-sample hot path (timing/, mlmc/, solvers/) that turns an
+    O(1) working set into O(iterations) allocator traffic and defeats
+    the preallocated-arena discipline the native kernel relies on.
+    Hoist the allocation out of the loop and reuse the buffer (e.g. the
+    ufunc ``out=`` argument), or suppress with a justification when the
+    loop is cold (setup/pack time, not per-sample)."""
+    example = """for start in range(0, n, block):
+    u = np.zeros((block, num_gates))   # fresh buffer every block"""
+    interests = (ast.Call,)
+
+    def _allocating_callee(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            return ".astype"
+        dotted = _dotted_name(func)
+        if dotted is None:
+            return None
+        prefix, _, name = dotted.rpartition(".")
+        if prefix in ("np", "numpy") and name in _ALLOCATING_NUMPY:
+            return dotted
+        return None
+
+    def _enclosing_loop(
+        self, node: ast.Call, ctx: FileContext
+    ) -> Optional[Union[ast.For, ast.While]]:
+        """The innermost for/while containing ``node`` within the same
+        function scope (a nested def/lambda re-establishes O(1))."""
+        for ancestor in ctx.ancestors(node):
+            if isinstance(
+                ancestor,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                return None
+            if isinstance(ancestor, (ast.For, ast.While)):
+                return ancestor
+        return None
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Violation]:
+        assert isinstance(node, ast.Call)
+        if not _in_hot_module(ctx.path):
+            return ()
+        callee = self._allocating_callee(node)
+        if callee is None:
+            return ()
+        loop = self._enclosing_loop(node, ctx)
+        if loop is None:
+            return ()
+        kind = "for" if isinstance(loop, ast.For) else "while"
+        return [
+            self.violation(
+                ctx,
+                node,
+                f"{callee}(...) allocates a fresh array on every "
+                f"iteration of the enclosing {kind} loop (line "
+                f"{loop.lineno}); hoist the allocation and reuse the "
+                f"buffer, or suppress with a justification if this loop "
+                f"is not on the per-sample hot path",
             )
         ]
 

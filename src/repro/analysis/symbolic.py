@@ -1,0 +1,348 @@
+"""Symbolic polynomial arithmetic for the shape/bounds verifier.
+
+The shape pass (:mod:`repro.analysis.shapes`) and the C loop-bound
+extractor (:mod:`repro.analysis.cabi`) both reason about buffer extents
+as polynomials over named non-negative integer symbols (``num_rows``,
+``width``, ``block``, ...).  This module is the tiny shared kernel for
+that reasoning:
+
+* :class:`Poly` — a multivariate polynomial with integer coefficients,
+  represented as a mapping from sorted monomials (tuples of symbol
+  names, with multiplicity) to coefficients.
+* :func:`parse_expr` — parse the arithmetic subset both sides emit
+  (``4*B``, ``B*(t+1)``, sums/products/parenthesised integers) into a
+  :class:`Poly`; anything outside the subset (division, calls, loads)
+  raises :class:`SymbolicError` so callers refuse to guess instead of
+  mis-modelling.
+* :func:`prove_ge` — a sound one-sided prover for ``a >= b`` under the
+  standing assumption that every symbol is a non-negative integer,
+  optionally strengthened with per-symbol lower bounds and polynomial
+  upper bounds (``rows <= block``-style facts).  It answers ``True``
+  only when the inequality is provable; ``False`` means "unknown", never
+  "false".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Poly",
+    "SymbolicError",
+    "parse_expr",
+    "poly_lower_bound",
+    "prove_ge",
+]
+
+#: A monomial is the sorted tuple of its symbol factors (with
+#: multiplicity); the empty tuple is the constant term.
+Monomial = Tuple[str, ...]
+
+
+class SymbolicError(ValueError):
+    """An expression falls outside the supported symbolic subset."""
+
+
+class Poly:
+    """Multivariate polynomial with integer coefficients.
+
+    Immutable by convention: all arithmetic returns new instances, and
+    the term mapping is normalized (no zero coefficients, monomials
+    sorted) so structural equality is semantic equality.
+    """
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Optional[Mapping[Monomial, int]] = None):
+        cleaned: Dict[Monomial, int] = {}
+        if terms:
+            for monomial, coeff in terms.items():
+                if coeff:
+                    key = tuple(sorted(monomial))
+                    cleaned[key] = cleaned.get(key, 0) + coeff
+                    if cleaned[key] == 0:
+                        del cleaned[key]
+        self.terms = cleaned
+
+    # -- constructors --------------------------------------------------
+    @staticmethod
+    def const(value: int) -> "Poly":
+        """The constant polynomial ``value``."""
+        return Poly({(): int(value)})
+
+    @staticmethod
+    def symbol(name: str) -> "Poly":
+        """The polynomial consisting of the single symbol ``name``."""
+        return Poly({(name,): 1})
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "Poly") -> "Poly":
+        merged = dict(self.terms)
+        for monomial, coeff in other.terms.items():
+            merged[monomial] = merged.get(monomial, 0) + coeff
+        return Poly(merged)
+
+    def __sub__(self, other: "Poly") -> "Poly":
+        return self + other.__neg__()
+
+    def __neg__(self) -> "Poly":
+        return Poly({m: -c for m, c in self.terms.items()})
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        product: Dict[Monomial, int] = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                key = tuple(sorted(m1 + m2))
+                product[key] = product.get(key, 0) + c1 * c2
+        return Poly(product)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Poly) and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.terms.items())))
+
+    # -- inspection ----------------------------------------------------
+    def symbols(self) -> List[str]:
+        """Sorted distinct symbols appearing in the polynomial."""
+        seen = set()
+        for monomial in self.terms:
+            seen.update(monomial)
+        return sorted(seen)
+
+    def constant_value(self) -> Optional[int]:
+        """The integer value if constant, else ``None``."""
+        if not self.terms:
+            return 0
+        if set(self.terms) == {()}:
+            return self.terms[()]
+        return None
+
+    def substitute(self, name: str, value: "Poly") -> "Poly":
+        """Replace every occurrence of symbol ``name`` with ``value``."""
+        result = Poly()
+        for monomial, coeff in self.terms.items():
+            term = Poly.const(coeff)
+            for sym in monomial:
+                term = term * (value if sym == name else Poly.symbol(sym))
+            result = result + term
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "Poly":
+        """Rename symbols; unmapped symbols pass through unchanged."""
+        renamed: Dict[Monomial, int] = {}
+        for monomial, coeff in self.terms.items():
+            key = tuple(sorted(mapping.get(s, s) for s in monomial))
+            renamed[key] = renamed.get(key, 0) + coeff
+        return Poly(renamed)
+
+    def __repr__(self) -> str:
+        return f"Poly({self.format()})"
+
+    def format(self) -> str:
+        """Canonical human/serialized form, e.g. ``"4*num_rows + 1"``.
+
+        Monomials are emitted in sorted order, so equal polynomials
+        always format identically — the obligation strings in
+        :mod:`repro.analysis.cabi` rely on this for stable reporting.
+        """
+        if not self.terms:
+            return "0"
+        parts: List[str] = []
+        for monomial in sorted(self.terms):
+            coeff = self.terms[monomial]
+            if not monomial:
+                body = str(abs(coeff))
+            else:
+                factors = "*".join(monomial)
+                body = factors if abs(coeff) == 1 else f"{abs(coeff)}*{factors}"
+            if not parts:
+                parts.append(body if coeff > 0 else f"-{body}")
+            else:
+                parts.append(f"+ {body}" if coeff > 0 else f"- {body}")
+        return " ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+_EXPR_TOKEN = re.compile(r"\s*(\d+|[A-Za-z_]\w*|[+\-*()])")
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _EXPR_TOKEN.match(text, pos)
+        if match is None:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise SymbolicError(f"unsupported token at {rest[:20]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+def parse_expr(text: str) -> Poly:
+    """Parse ``+``/``-``/``*``/parenthesised integer arithmetic.
+
+    Symbols are bare identifiers; any other construct (division, array
+    loads, calls, comparisons) raises :class:`SymbolicError` — the
+    callers treat that as "not statically derivable" rather than
+    guessing.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise SymbolicError("empty expression")
+    pos = 0
+
+    def parse_sum() -> Poly:
+        nonlocal pos
+        value = parse_product()
+        while pos < len(tokens) and tokens[pos] in ("+", "-"):
+            op = tokens[pos]
+            pos += 1
+            rhs = parse_product()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def parse_product() -> Poly:
+        nonlocal pos
+        value = parse_atom()
+        while pos < len(tokens) and tokens[pos] == "*":
+            pos += 1
+            value = value * parse_atom()
+        return value
+
+    def parse_atom() -> Poly:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise SymbolicError(f"truncated expression {text!r}")
+        token = tokens[pos]
+        if token == "(":
+            pos += 1
+            inner = parse_sum()
+            if pos >= len(tokens) or tokens[pos] != ")":
+                raise SymbolicError(f"unbalanced parentheses in {text!r}")
+            pos += 1
+            return inner
+        if token == "-":
+            pos += 1
+            return -parse_atom()
+        if token == "+":
+            pos += 1
+            return parse_atom()
+        pos += 1
+        if token.isdigit():
+            return Poly.const(int(token))
+        if token in ("*", ")"):
+            raise SymbolicError(f"misplaced {token!r} in {text!r}")
+        return Poly.symbol(token)
+
+    result = parse_sum()
+    if pos != len(tokens):
+        raise SymbolicError(f"trailing tokens in {text!r}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# The one-sided prover
+# ----------------------------------------------------------------------
+def _expand_lower_bounds(poly: Poly, lower: Mapping[str, int]) -> Poly:
+    """Rewrite each symbol ``s`` with lower bound ``L > 0`` as ``L + s``.
+
+    Sound because proving ``P >= 0`` for all ``s >= L`` is equivalent to
+    proving the rewritten polynomial for all ``s >= 0`` (the baseline
+    assumption for every symbol).
+    """
+    result = poly
+    for name in poly.symbols():
+        bound = lower.get(name, 0)
+        if bound > 0:
+            result = result.substitute(
+                name, Poly.const(bound) + Poly.symbol(name)
+            )
+    return result
+
+
+def _nonneg(poly: Poly) -> bool:
+    return all(coeff >= 0 for coeff in poly.terms.values())
+
+
+def prove_ge(
+    a: Poly,
+    b: Poly,
+    *,
+    lower: Optional[Mapping[str, int]] = None,
+    upper: Optional[Mapping[str, Sequence[Poly]]] = None,
+    depth: int = 6,
+) -> bool:
+    """Soundly prove ``a >= b`` assuming every symbol is ``>= 0``.
+
+    ``lower`` maps symbols to integer lower bounds; ``upper`` maps
+    symbols to polynomial upper bounds (e.g. ``rows <= block``).  The
+    prover rewrites lower bounds away, then repeatedly weakens negative
+    terms by substituting a contained symbol with one of its upper
+    bounds (valid because the rest of the monomial is non-negative), and
+    accepts as soon as every coefficient is non-negative.  ``False``
+    means "not provable with these facts", never "provably false".
+    """
+    lower = lower or {}
+    upper = upper or {}
+    start = _expand_lower_bounds(a - b, lower)
+
+    seen = set()
+
+    def search(poly: Poly, budget: int) -> bool:
+        if _nonneg(poly):
+            return True
+        if budget <= 0:
+            return False
+        key = tuple(sorted(poly.terms.items()))
+        if key in seen:
+            return False
+        seen.add(key)
+        for monomial in sorted(poly.terms):
+            coeff = poly.terms[monomial]
+            if coeff >= 0:
+                continue
+            for sym in dict.fromkeys(monomial):
+                for bound in upper.get(sym, ()):
+                    remaining = list(monomial)
+                    remaining.remove(sym)
+                    rest = Poly({tuple(remaining): coeff})
+                    replaced = (
+                        poly
+                        - Poly({monomial: coeff})
+                        + rest * _expand_lower_bounds(bound, lower)
+                    )
+                    if search(replaced, budget - 1):
+                        return True
+        return False
+
+    return search(start, depth)
+
+
+def poly_lower_bound(
+    poly: Poly, lower: Optional[Mapping[str, int]] = None
+) -> Optional[int]:
+    """Best integer lower bound of ``poly`` derivable term-by-term.
+
+    Evaluates each monomial at its symbols' lower bounds; returns
+    ``None`` when a negative-coefficient term makes the bound
+    underivable this way.
+    """
+    lower = lower or {}
+    total = 0
+    for monomial, coeff in poly.terms.items():
+        if coeff < 0 and monomial:
+            # A negative term over symbols has no finite lower bound
+            # derivable from per-symbol lower bounds alone.
+            return None
+        value = coeff
+        for sym in monomial:
+            value *= lower.get(sym, 0)
+        total += value
+    return total

@@ -455,6 +455,22 @@ class CompiledTimingProgram:
             [lv.pin_wire_delay for lv in levels], np.float64
         )
         self._k_p_step2 = _cat([lv.pin_step2 for lv in levels], np.float64)
+        # Every per-gate table must have exactly one entry per scheduled
+        # gate: the native kernel walks them with a single gate counter
+        # bounded by num_gates == _k_fanin.size, so a shorter table is an
+        # out-of-bounds read.  REPRO-SHAPE002 discharges the g_* buffer
+        # obligations by unifying these sizes with the bound.
+        assert self._k_out_slot.size == self._k_fanin.size
+        assert self._k_out_col.size == self._k_fanin.size
+        assert self._k_gid.size == self._k_fanin.size
+        assert self._k_bd.size == self._k_fanin.size
+        assert self._k_dsl.size == self._k_fanin.size
+        assert self._k_bs.size == self._k_fanin.size
+        assert self._k_ssl.size == self._k_fanin.size
+        assert self._k_k1.size == self._k_fanin.size
+        assert self._k_k2.size == self._k_fanin.size
+        assert self._k_m1.size == self._k_fanin.size
+        assert self._k_m2.size == self._k_fanin.size
         #: Whether the most recent :meth:`execute` used the native
         #: kernel (for benchmark reporting); ``None`` before any run.
         self.last_run_native: Optional[bool] = None
@@ -810,9 +826,16 @@ class CompiledTimingProgram:
                 pd(self._k_k2),
                 pd(self._k_m1),
                 pd(self._k_m2),
-                pi(p_slot),
-                pd(self._k_p_wd),
-                pd(self._k_p_step2),
+                # The kernel walks the pin tables with a running counter
+                # `p` (reset per gate, bounded by the per-gate fanin it
+                # just read), so cabi.py cannot derive an affine extent.
+                # Hand proof: `p` advances once per pin visit and the
+                # fanin table is built from the same per-level pin_gate
+                # arrays the pin tables concatenate, so the final value
+                # of `p` equals each table's length by construction.
+                pi(p_slot),  # repro-lint: disable=REPRO-SHAPE002
+                pd(self._k_p_wd),  # repro-lint: disable=REPRO-SHAPE002
+                pd(self._k_p_step2),  # repro-lint: disable=REPRO-SHAPE002
                 pd(arena_a),
                 pd(arena_s),
                 pd(kscratch),

@@ -1,0 +1,20 @@
+"""Seeded REPRO-SHAPE001 violations: statically-provable mismatches.
+
+Both operand dims are compile-time constants and differ (not via a
+length-1 broadcast), so the ops raise ``ValueError`` on every execution
+— the checker must flag them without running anything.
+"""
+
+import numpy as np
+
+
+def mismatched_sum() -> np.ndarray:
+    a = np.zeros(3)
+    b = np.ones(4)
+    return a + b
+
+
+def mismatched_through_helper(scale: float) -> np.ndarray:
+    left = np.full(5, scale)
+    right = np.zeros(7)
+    return left * right

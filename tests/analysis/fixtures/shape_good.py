@@ -1,0 +1,37 @@
+"""Shape-clean fixture: every numpy op broadcasts provably.
+
+Dims agree symbolically (same source symbol), by constant equality, or
+through a legitimate length-1 broadcast — REPRO-SHAPE001 must stay
+silent on all of it.
+"""
+
+import numpy as np
+
+
+def elementwise(n: int) -> np.ndarray:
+    a = np.zeros(n)
+    b = np.ones(n)
+    return a + b
+
+
+def broadcast_row(n: int) -> np.ndarray:
+    matrix = np.zeros((n, 4))
+    row = np.ones((1, 4))
+    return matrix * row
+
+
+def constant_pair() -> np.ndarray:
+    left = np.zeros(8)
+    right = np.full(8, 2.0)
+    return left - right
+
+
+def reshape_roundtrip(n: int) -> np.ndarray:
+    flat = np.zeros(6)
+    return flat.reshape(2, 3) + np.ones((2, 3))
+
+
+def sliced_sum(n: int) -> np.ndarray:
+    samples = np.zeros(n)
+    head = samples[:4]
+    return head + np.ones(4)

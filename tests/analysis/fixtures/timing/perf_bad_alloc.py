@@ -1,0 +1,33 @@
+"""Seeded REPRO-PERF001 violations: allocations inside hot-module loops.
+
+This file lives under a ``timing/`` path segment so the rule treats it
+as hot.  Each loop body allocates a fresh buffer per iteration —
+``np.zeros``, ``np.concatenate`` and ``.astype`` (which copies) — the
+exact churn the arena-reuse discipline exists to avoid.
+Expected findings: 4 (three in ``accumulate``, one in ``widen``).
+"""
+
+import numpy as np
+
+
+def accumulate(blocks: list, num_gates: int) -> np.ndarray:
+    total = np.zeros(num_gates)
+    for block in blocks:
+        fresh = np.zeros(num_gates)  # fresh buffer every block
+        fresh += block
+        joined = np.concatenate([fresh, fresh])  # and a copy on top
+        total += joined[:num_gates]
+    index = 0
+    while index < len(blocks):
+        staged = np.empty(num_gates)  # same churn, while-loop spelling
+        staged[:] = blocks[index]
+        total += staged
+        index += 1
+    return total
+
+
+def widen(chunks: list) -> list:
+    out = []
+    for chunk in chunks:
+        out.append(chunk.astype(np.float64))  # per-iteration copy
+    return out

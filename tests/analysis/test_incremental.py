@@ -1,0 +1,130 @@
+"""Incremental gate cache: reuse, dependency invalidation, quarantine.
+
+The gate memoizes per-file findings on (content sha, catalog version,
+import-closure fingerprint) and whole-program findings on the global
+tree fingerprint.  These tests pin the three correctness properties the
+keying must provide: a warm re-run is bitwise identical with zero
+re-analysis, touching one file re-analyzes exactly that file plus its
+import-graph dependents, and a poisoned cache entry is quarantined and
+regenerated transparently.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import LINT_CACHE_NAME, analyze_project_paths
+from repro.utils.artifact_cache import cache_stats
+
+HELPER = '''\
+import numpy as np
+
+
+def scale(values: np.ndarray) -> np.ndarray:
+    return values * 2.0
+'''
+
+CONSUMER = '''\
+import numpy as np
+
+from helper import scale
+
+
+def run(values: np.ndarray) -> np.ndarray:
+    return scale(values)
+'''
+
+# Lives under a timing/ segment, allocates inside a loop: one stable
+# REPRO-PERF001 finding so report identity is checked on real content.
+HOT_STANDALONE = '''\
+import numpy as np
+
+
+def churn(blocks: list, n: int) -> np.ndarray:
+    total = np.zeros(n)
+    for block in blocks:
+        total += np.zeros(n) + block
+    return total
+'''
+
+
+def make_project(tmp_path: Path) -> Path:
+    project = tmp_path / "proj"
+    (project / "timing").mkdir(parents=True)
+    (project / "helper.py").write_text(HELPER, encoding="utf-8")
+    (project / "consumer.py").write_text(CONSUMER, encoding="utf-8")
+    (project / "timing" / "standalone.py").write_text(
+        HOT_STANDALONE, encoding="utf-8"
+    )
+    return project
+
+
+def run_gate(project: Path, cache: Path, **kwargs):
+    return analyze_project_paths(
+        [project], cache_dir=str(cache), **kwargs
+    )
+
+
+def payload(report) -> str:
+    return json.dumps(
+        [v.to_dict() for v in report.violations], sort_keys=True
+    )
+
+
+def test_warm_rerun_is_bitwise_identical_with_zero_reanalysis(tmp_path):
+    project = make_project(tmp_path)
+    cache = tmp_path / "cache"
+
+    cold = run_gate(project, cache)
+    assert len(cold.reanalyzed_paths) == 3
+    assert not cold.project_from_cache
+    assert any(
+        v.rule_id == "REPRO-PERF001" for v in cold.violations
+    ), "the seeded hot-loop allocation must be found"
+
+    warm = run_gate(project, cache)
+    assert warm.reanalyzed_paths == []
+    assert warm.project_from_cache
+    assert payload(warm) == payload(cold)
+
+    stats = cache_stats(LINT_CACHE_NAME)[LINT_CACHE_NAME]
+    assert stats["hits"] >= 3
+
+
+def test_touching_one_file_reanalyzes_only_it_and_its_dependents(tmp_path):
+    project = make_project(tmp_path)
+    cache = tmp_path / "cache"
+    run_gate(project, cache)
+
+    helper = project / "helper.py"
+    helper.write_text(
+        HELPER + "\n# touched\n", encoding="utf-8"
+    )
+    after = run_gate(project, cache)
+    # consumer.py imports helper.py, so its cross-file facts may have
+    # changed; standalone.py is unrelated and must come from cache.
+    assert sorted(Path(p).name for p in after.reanalyzed_paths) == [
+        "consumer.py",
+        "helper.py",
+    ]
+    # The tree fingerprint changed, so whole-program findings recompute.
+    assert not after.project_from_cache
+
+
+def test_poisoned_cache_entry_is_quarantined_and_regenerated(tmp_path):
+    project = make_project(tmp_path)
+    cache = tmp_path / "cache"
+    cold = run_gate(project, cache)
+
+    entries = sorted(cache.glob("pf-*.npz"))
+    assert len(entries) == 3
+    poisoned = entries[0]
+    poisoned.write_bytes(b"garbage, not a cache entry")
+
+    recovered = run_gate(project, cache)
+    assert len(recovered.reanalyzed_paths) == 1
+    assert payload(recovered) == payload(cold)
+    # The bad entry moved aside for post-mortem and a fresh one exists.
+    assert (poisoned.parent / (poisoned.name + ".corrupt")).is_file()
+    assert poisoned.is_file()
+    stats = cache_stats(LINT_CACHE_NAME)[LINT_CACHE_NAME]
+    assert stats["corruptions"] >= 1

@@ -21,17 +21,20 @@ SRC_REPRO = Path(repro.__file__).resolve().parent
 
 
 def test_rule_floor():
-    assert len(all_rules()) >= 6
+    assert len(all_rules()) >= 7
 
 
 def test_catalog_floor_including_project_checks():
     ids = {entry["id"] for entry in rule_catalog()}
-    assert len(ids) >= 12
+    assert len(ids) >= 19
     assert {
         "REPRO-NATIVE001",
         "REPRO-PAR001",
         "REPRO-PAR002",
         "REPRO-LINT001",
+        "REPRO-PERF001",
+        "REPRO-SHAPE001",
+        "REPRO-SHAPE002",
     } <= ids
 
 
